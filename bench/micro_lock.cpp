@@ -1,0 +1,75 @@
+// Native microbenchmarks for the Lock abstraction: the hardware
+// test-and-set word and the MutexLock operations built on it.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "arch/tas.h"
+#include "mp/native_platform.h"
+
+namespace {
+
+void BM_TasWord(benchmark::State& state) {
+  mp::arch::TasWord w;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.test_and_set());
+    w.clear();
+  }
+}
+BENCHMARK(BM_TasWord);
+
+void BM_MutexLockPairUncontended(benchmark::State& state) {
+  mp::NativePlatformConfig cfg;
+  cfg.max_procs = 1;
+  mp::NativePlatform p(cfg);
+  p.run([&] {
+    mp::MutexLock l = p.mutex_lock();
+    for (auto _ : state) {
+      p.lock(l);
+      p.unlock(l);
+    }
+  });
+}
+BENCHMARK(BM_MutexLockPairUncontended);
+
+void BM_TryLockFailure(benchmark::State& state) {
+  mp::NativePlatformConfig cfg;
+  cfg.max_procs = 1;
+  mp::NativePlatform p(cfg);
+  p.run([&] {
+    mp::MutexLock l = p.mutex_lock();
+    p.lock(l);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(p.try_lock(l));
+    }
+    p.unlock(l);
+  });
+}
+BENCHMARK(BM_TryLockFailure);
+
+void BM_MutexLockCreate(benchmark::State& state) {
+  mp::NativePlatformConfig cfg;
+  cfg.max_procs = 1;
+  mp::NativePlatform p(cfg);
+  p.run([&] {
+    for (auto _ : state) {
+      mp::MutexLock l = p.mutex_lock();
+      benchmark::DoNotOptimize(l.cell());
+    }
+  });
+}
+BENCHMARK(BM_MutexLockCreate);
+
+void BM_TasContended(benchmark::State& state) {
+  static mp::arch::TasWord w;
+  for (auto _ : state) {
+    while (!w.test_and_set()) mp::arch::cpu_relax();
+    w.clear();
+  }
+}
+BENCHMARK(BM_TasContended)->Threads(1)->Threads(2)->Threads(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Native microbenchmarks for the thread package: fork/exit, yield, and the
+// synthesized synchronization primitives.
+
+#include <benchmark/benchmark.h>
+
+#include "mp/native_platform.h"
+#include "threads/scheduler.h"
+#include "threads/sync.h"
+
+namespace {
+
+using mp::threads::CountdownLatch;
+using mp::threads::Mutex;
+using mp::threads::Scheduler;
+using mp::threads::SchedulerConfig;
+
+void BM_ForkJoin(benchmark::State& state) {
+  mp::NativePlatformConfig cfg;
+  cfg.max_procs = 1;
+  mp::NativePlatform p(cfg);
+  Scheduler::run(p, {}, [&](Scheduler& s) {
+    for (auto _ : state) {
+      CountdownLatch latch(s, 1);
+      s.fork([&] { latch.count_down(); });
+      latch.await();
+    }
+  });
+}
+BENCHMARK(BM_ForkJoin);
+
+void BM_YieldSelf(benchmark::State& state) {
+  mp::NativePlatformConfig cfg;
+  cfg.max_procs = 1;
+  mp::NativePlatform p(cfg);
+  Scheduler::run(p, {}, [&](Scheduler& s) {
+    for (auto _ : state) s.yield();
+  });
+}
+BENCHMARK(BM_YieldSelf);
+
+void BM_YieldPingPong(benchmark::State& state) {
+  mp::NativePlatformConfig cfg;
+  cfg.max_procs = 1;
+  mp::NativePlatform p(cfg);
+  Scheduler::run(p, {}, [&](Scheduler& s) {
+    std::atomic<bool> stop{false};
+    s.fork([&] {
+      while (!stop.load(std::memory_order_relaxed)) s.yield();
+    });
+    for (auto _ : state) s.yield();  // each yield switches to the partner
+    stop.store(true);
+  });
+}
+BENCHMARK(BM_YieldPingPong);
+
+void BM_UserMutexUncontended(benchmark::State& state) {
+  mp::NativePlatformConfig cfg;
+  cfg.max_procs = 1;
+  mp::NativePlatform p(cfg);
+  Scheduler::run(p, {}, [&](Scheduler& s) {
+    Mutex m(s);
+    for (auto _ : state) {
+      m.lock();
+      m.unlock();
+    }
+  });
+}
+BENCHMARK(BM_UserMutexUncontended);
+
+void BM_ForkManyThenDrain(benchmark::State& state) {
+  mp::NativePlatformConfig cfg;
+  cfg.max_procs = 2;
+  mp::NativePlatform p(cfg);
+  const int batch = static_cast<int>(state.range(0));
+  Scheduler::run(p, {}, [&](Scheduler& s) {
+    for (auto _ : state) {
+      CountdownLatch latch(s, batch);
+      for (int i = 0; i < batch; i++) {
+        s.fork([&] { latch.count_down(); });
+      }
+      latch.await();
+    }
+  });
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ForkManyThenDrain)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Bus-traffic table (section 6): "the bus has a maximum achievable
+// bandwidth of about 25 MB/sec; with 16 processors mm generates about
+// 20 MB/sec of bus traffic in allocation alone."  Sweeps mm over proc
+// counts on the Sequent model and reports allocation-driven bus load.
+
+#include "bench_util.h"
+
+using namespace mp::workloads;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::flag(argc, argv, "--quick");
+  bench::header("T3", "allocation bus traffic of mm on the Sequent",
+                "~20 MB/s of a ~25 MB/s achievable bus at 16 procs; bus "
+                "contention, not parallelism, limits mm's speedup");
+  const std::vector<int> grid = bench::sequent_grid(quick);
+  std::printf("%5s %12s %10s %10s %12s %10s\n", "procs", "T(us)", "MB/s",
+              "bus-util", "buswait(us)", "speedup");
+  bench::rule();
+  SimRunSpec spec;
+  spec.workload = "mm";
+  const auto sweep = sweep_procs(spec, grid);
+  for (std::size_t i = 0; i < sweep.size(); i++) {
+    const auto& r = sweep[i];
+    std::printf("%5d %12.0f %10.2f %9.1f%% %12.0f %10.2f\n", r.procs,
+                r.report.total_us, r.report.bus_mb_per_s(),
+                100 * r.report.bus_utilization(), r.report.bus_wait_us,
+                self_relative_speedup(sweep, i));
+  }
+  bench::rule();
+  const auto& last = sweep.back();
+  std::printf("at %d procs: %.1f MB/s of %.0f MB/s achievable (paper: ~20 of ~25)\n",
+              last.procs, last.report.bus_mb_per_s(),
+              spec.machine.bus_bytes_per_us);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// GC ablation (section 6): "Speedup for the other benchmarks is limited
+// by ... our sequential garbage collection strategy; if garbage collection
+// time were omitted, the maximum speedups for abisort and allpairs would be
+// considerably higher, although the rough shape of their curves would be
+// the same."
+
+#include "bench_util.h"
+
+using namespace mp::workloads;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::flag(argc, argv, "--quick");
+  bench::header("T5", "speedup with and without sequential GC time",
+                "abisort and allpairs reach considerably higher maximum "
+                "speedups with GC omitted; curve shapes stay the same");
+  const std::vector<int> grid = quick ? std::vector<int>{1, 8, 16}
+                                      : std::vector<int>{1, 4, 8, 12, 16};
+  std::printf("%-9s %-8s", "workload", "mode");
+  for (const int p : grid) std::printf("%8d", p);
+  std::printf("\n");
+  bench::rule();
+  for (const std::string& w : {std::string("allpairs"), std::string("abisort"),
+                               std::string("mm"), std::string("simple")}) {
+    for (const bool free_gc : {false, true}) {
+      SimRunSpec spec;
+      spec.workload = w;
+      spec.free_gc = free_gc;
+      const auto sweep = sweep_procs(spec, grid);
+      std::printf("%-9s %-8s", w.c_str(), free_gc ? "no-gc" : "with-gc");
+      for (std::size_t i = 0; i < sweep.size(); i++) {
+        std::printf("%8.2f", self_relative_speedup(sweep, i));
+      }
+      std::printf("\n");
+    }
+    bench::rule();
+  }
+  std::printf("expected: allpairs/abisort no-gc curves sit well above with-gc;\n");
+  std::printf("simple barely moves (it is idle-limited, not GC-limited)\n");
+  return 0;
+}

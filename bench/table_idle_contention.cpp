@@ -1,0 +1,42 @@
+// Idle-rate and lock-contention table (section 6): "simple, the worst
+// case, has average processor idle rates above 50% for 10 processors or
+// more.  simple also displays moderate contention for access to the run
+// queues and data locks; none of the other applications showed any
+// significant lock contention."
+
+#include "bench_util.h"
+
+using namespace mp::workloads;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::flag(argc, argv, "--quick");
+  bench::header("T4", "processor idle rates and lock contention",
+                "simple idles >50% at 10+ procs and shows moderate run-queue/"
+                "data-lock contention; other applications show none");
+  const std::vector<int> grid =
+      quick ? std::vector<int>{4, 10, 16} : std::vector<int>{4, 8, 10, 12, 16};
+
+  std::printf("%-9s", "workload");
+  for (const int p : grid) std::printf("   p=%-2d idle%%/spin%%", p);
+  std::printf("\n");
+  bench::rule();
+  for (const std::string& w :
+       {std::string("simple"), std::string("mst"), std::string("allpairs"),
+        std::string("abisort"), std::string("mm"), std::string("seq")}) {
+    std::printf("%-9s", w.c_str());
+    for (const int p : grid) {
+      SimRunSpec spec;
+      spec.workload = w;
+      spec.machine.num_procs = p;
+      const auto r = run_sim(spec);
+      const double proc_time = r.report.total_us * p;
+      std::printf("   %9.1f / %4.1f", 100 * r.report.idle_fraction(),
+                  100 * r.report.spin_us / proc_time);
+    }
+    std::printf("\n");
+  }
+  bench::rule();
+  std::printf("idle%% counts both no-work polling and GC clean-point waits;\n");
+  std::printf("spin%% is time spent spinning on MP mutex locks\n");
+  return 0;
+}

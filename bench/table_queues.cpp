@@ -1,0 +1,46 @@
+// Queue-discipline ablation (DESIGN.md decision 3; paper section 2: "thread
+// scheduling policy can be changed simply by varying the functor's
+// argument", and section 6's evaluated package uses a distributed run
+// queue).  Runs the fork/join-heavy abisort benchmark under each ready-queue
+// discipline and reports elapsed time and run-queue lock spinning.
+
+#include "bench_util.h"
+
+using namespace mp::workloads;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::flag(argc, argv, "--quick");
+  bench::header("A-QUEUE", "ready-queue disciplines under fork/join load (abisort)",
+                "the evaluated thread package replaced Figure 3's central "
+                "queue with a distributed per-proc run queue to cut run-queue "
+                "lock contention");
+  const std::vector<int> grid =
+      quick ? std::vector<int>{4, 16} : std::vector<int>{2, 4, 8, 12, 16};
+
+  std::printf("%-12s", "queue");
+  for (const int p : grid) std::printf("   p=%-2d T(ms)/spin%%", p);
+  std::printf("\n");
+  bench::rule();
+  for (const char* queue : {"distributed", "fifo", "lifo", "random"}) {
+    std::printf("%-12s", queue);
+    for (const int p : grid) {
+      SimRunSpec spec;
+      spec.workload = "abisort";
+      spec.machine = mp::sim::sequent_s81(p);
+      spec.queue = queue;
+      const auto r = run_sim(spec);
+      if (!r.verified) {
+        std::printf("  VERIFY-FAIL");
+        continue;
+      }
+      const double proc_time = r.report.total_us * p;
+      std::printf("   %8.1f / %4.1f", r.report.total_us / 1000.0,
+                  100 * r.report.spin_us / proc_time);
+    }
+    std::printf("\n");
+  }
+  bench::rule();
+  std::printf("expected: central disciplines spin more on the single queue\n");
+  std::printf("lock as procs are added; distributed queues keep spin low\n");
+  return 0;
+}

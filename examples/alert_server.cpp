@@ -1,0 +1,84 @@
+// A request server assembled from the extension layers: a Mailbox-fed
+// worker pool (ML Threads handles with join), request timeouts via CML
+// timeout events, and a clean shutdown by alerting the workers.
+//
+// Build and run:  ./build/examples/alert_server
+
+#include <cstdio>
+
+#include "cml/cml.h"
+#include "cml/sync_cells.h"
+#include "mp/native_platform.h"
+#include "threads/mlthreads.h"
+#include "threads/scheduler.h"
+
+using mp::cont::Unit;
+using mp::cml::Channel;
+using mp::cml::Mailbox;
+using mp::threads::alert_pause;
+using mp::threads::Alerted;
+using mp::threads::fork_thread;
+using mp::threads::Scheduler;
+using mp::threads::Thread;
+
+int main() {
+  mp::NativePlatformConfig config;
+  config.max_procs = 3;
+  mp::NativePlatform platform(config);
+
+  constexpr int kWorkers = 3;
+  constexpr int kRequests = 30;
+
+  long processed_total = 0;
+  Scheduler::run(platform, {}, [&](Scheduler& s) {
+    Mailbox<long> requests(s);   // async queue: clients never block
+    Channel<long> replies(s);    // synchronous reply rendezvous
+
+    // Worker pool: each worker drains the mailbox until alerted.
+    std::vector<Thread<long>> workers;
+    for (int w = 0; w < kWorkers; w++) {
+      workers.push_back(fork_thread<long>(s, [&, w] {
+        long handled = 0;
+        try {
+          for (;;) {
+            auto req = requests.try_recv();
+            if (!req.has_value()) {
+              alert_pause(s);  // poll for shutdown while idle
+              continue;
+            }
+            // "Process" the request.
+            s.platform().work(200);
+            replies.send(*req * 2);
+            handled++;
+          }
+        } catch (const Alerted&) {
+          std::printf("worker %d shutting down after %ld requests\n", w,
+                      handled);
+        }
+        return handled;
+      }));
+    }
+
+    // Client: submit requests asynchronously, collect replies with a
+    // timeout guard (a silent server would not hang the client).
+    for (long i = 0; i < kRequests; i++) requests.send(i);
+    long replies_seen = 0;
+    for (long i = 0; i < kRequests; i++) {
+      auto r = mp::cml::recv_timeout(replies, 5e6);
+      if (!r.has_value()) {
+        std::printf("timed out waiting for a reply!\n");
+        break;
+      }
+      replies_seen++;
+    }
+    std::printf("client received %ld replies\n", replies_seen);
+
+    // Shut the pool down and collect per-worker counts via join.
+    for (auto& w : workers) w.alert();
+    for (auto& w : workers) processed_total += w.join();
+  });
+
+  std::printf("total processed by the pool: %ld of %d\n", processed_total,
+              kRequests);
+  return processed_total == kRequests ? 0 : 1;
+}

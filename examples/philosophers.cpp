@@ -1,0 +1,63 @@
+// Dining philosophers on the thread package: five compute-bound threads
+// sharing five user-level mutexes, with asymmetric acquisition order to
+// avoid deadlock.  Exercises fork, Mutex handoff, preemptive scheduling
+// and the per-proc datum (thread ids).
+//
+// Build and run:  ./build/examples/philosophers
+
+#include <cstdio>
+
+#include "mp/native_platform.h"
+#include "threads/scheduler.h"
+#include "threads/sync.h"
+
+using mp::threads::CountdownLatch;
+using mp::threads::Mutex;
+using mp::threads::Scheduler;
+using mp::threads::SchedulerConfig;
+
+int main() {
+  constexpr int kPhilosophers = 5;
+  constexpr int kMeals = 20;
+
+  mp::NativePlatformConfig config;
+  config.max_procs = 3;
+  mp::NativePlatform platform(config);
+
+  SchedulerConfig sched_config;
+  sched_config.preempt_interval_us = 2000;  // preempt long thinkers
+
+  int meals[kPhilosophers] = {};
+  Scheduler::run(platform, std::move(sched_config), [&](Scheduler& s) {
+    std::unique_ptr<Mutex> forks[kPhilosophers];
+    for (auto& f : forks) f = std::make_unique<Mutex>(s);
+
+    CountdownLatch done(s, kPhilosophers);
+    for (int i = 0; i < kPhilosophers; i++) {
+      s.fork([&, i] {
+        Mutex& first = *forks[i % 2 == 0 ? i : (i + 1) % kPhilosophers];
+        Mutex& second = *forks[i % 2 == 0 ? (i + 1) % kPhilosophers : i];
+        for (int m = 0; m < kMeals; m++) {
+          // think
+          for (int w = 0; w < 200; w++) s.platform().work(50);
+          first.lock();
+          second.lock();
+          meals[i]++;  // eat
+          second.unlock();
+          first.unlock();
+        }
+        std::printf("philosopher %d (thread %d) finished eating\n", i, s.id());
+        done.count_down();
+      });
+    }
+    done.await();
+  });
+
+  bool ok = true;
+  for (int i = 0; i < kPhilosophers; i++) {
+    std::printf("philosopher %d ate %d meals\n", i, meals[i]);
+    ok = ok && meals[i] == kMeals;
+  }
+  std::printf(ok ? "no philosopher starved\n" : "BUG: missing meals!\n");
+  return ok ? 0 : 1;
+}

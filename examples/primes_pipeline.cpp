@@ -1,0 +1,74 @@
+// The classic CSP prime sieve as a pipeline of threads connected by
+// synchronous channels (paper section 4.2): a generator feeds candidate
+// integers into a chain of filter threads, one per discovered prime.
+// Exercises dynamic thread creation and channel rendezvous at scale —
+// continuation-based threads are cheap enough that "hundreds or even
+// thousands" of them are fine (paper section 2).
+//
+// Build and run:  ./build/examples/primes_pipeline [limit]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "cml/cml.h"
+#include "mp/native_platform.h"
+#include "threads/scheduler.h"
+
+using mp::cml::Channel;
+using mp::threads::Scheduler;
+
+int main(int argc, char** argv) {
+  const int limit = argc > 1 ? std::atoi(argv[1]) : 300;
+
+  mp::NativePlatformConfig config;
+  config.max_procs = 2;
+  mp::NativePlatform platform(config);
+
+  std::vector<int> primes;
+  Scheduler::run(platform, {}, [&](Scheduler& s) {
+    // Channels are owned here and freed after every thread has finished.
+    std::vector<std::unique_ptr<Channel<int>>> channels;
+    channels.push_back(std::make_unique<Channel<int>>(s));
+
+    s.fork([&, out = channels[0].get()] {  // generator
+      for (int n = 2; n <= limit; n++) out->send(n);
+      out->send(-1);  // end of stream
+    });
+
+    Channel<int>* in = channels[0].get();
+    for (;;) {
+      const int p = in->recv();
+      if (p < 0) break;
+      primes.push_back(p);
+      // Insert a filter thread for p between `in` and a fresh channel.
+      channels.push_back(std::make_unique<Channel<int>>(s));
+      Channel<int>* out = channels.back().get();
+      s.fork([&s, p, in, out] {
+        (void)s;
+        for (;;) {
+          const int n = in->recv();
+          if (n < 0) {
+            out->send(-1);
+            return;
+          }
+          if (n % p != 0) out->send(n);
+        }
+      });
+      in = out;
+    }
+  });
+
+  std::printf("%zu primes <= %d:", primes.size(), limit);
+  for (std::size_t i = 0; i < primes.size(); i++) {
+    if (i < 12 || i + 3 > primes.size()) {
+      std::printf(" %d", primes[i]);
+    } else if (i == 12) {
+      std::printf(" ...");
+    }
+  }
+  std::printf("\n(one filter thread per prime: %zu threads lived in the pipeline)\n",
+              primes.size());
+  return primes.size() >= 2 && primes[0] == 2 && primes[1] == 3 ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// Time machine: run the same client program on three simulated 1993
+// multiprocessors and compare where the time goes.  The program is the
+// paper's mm benchmark; the machines are the three MP ports (Sequent
+// Symmetry, SGI 4D/380S, Luna88k).  Shows how the deterministic simulator
+// backend is used for architecture studies: same client code, different
+// MachineModel.
+//
+// Build and run:  ./build/examples/time_machine
+
+#include <cstdio>
+
+#include "workloads/runner.h"
+
+using namespace mp::workloads;
+
+int main() {
+  struct Port {
+    const char* label;
+    mp::sim::MachineModel machine;
+  };
+  const Port ports[] = {
+      {"Sequent Symmetry S81 (16x 16MHz 80386)", mp::sim::sequent_s81(16)},
+      {"SGI 4D/380S          (8x 33MHz R3000)", mp::sim::sgi_4d380(8)},
+      {"Omron Luna88k        (4x 25MHz 88100)", mp::sim::luna88k(4)},
+  };
+
+  std::printf("running the paper's mm benchmark (100x100 integer matrix\n");
+  std::printf("multiply) on three simulated 1993 multiprocessors:\n\n");
+  std::printf("%-41s %10s %8s %7s %7s %6s\n", "machine", "T(ms)", "speedup",
+              "bus%", "idle%", "gc%");
+  std::printf("-----------------------------------------------------------------------------------\n");
+
+  for (const Port& port : ports) {
+    SimRunSpec spec;
+    spec.workload = "mm";
+    spec.machine = port.machine;
+    const auto full = run_sim(spec);
+    spec.machine.num_procs = 1;
+    const auto uni = run_sim(spec);
+    const double speedup = uni.report.total_us / full.report.total_us;
+    const double proc_time = full.report.total_us * full.procs;
+    std::printf("%-41s %10.1f %7.2fx %6.1f%% %6.1f%% %5.1f%%\n", port.label,
+                full.report.total_us / 1000.0, speedup,
+                100 * full.report.bus_utilization(),
+                100 * full.report.idle_fraction(),
+                100 * (full.report.gc_us + full.report.gc_wait_us) / proc_time);
+    if (!full.verified || !uni.verified) {
+      std::printf("  VERIFICATION FAILED\n");
+      return 1;
+    }
+  }
+
+  std::printf("\nthe slow Sequent scales almost linearly; the fast SGI saturates\n");
+  std::printf("its barely-larger bus and stops scaling — the paper's closing\n");
+  std::printf("observation, reproduced on your laptop.\n");
+  return 0;
+}

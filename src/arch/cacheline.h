@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace mp::arch {
+
+// Cache line size used for padding shared data structures.  On the machines
+// the paper targeted this was 16-64 bytes; modern x86-64 uses 64, and 64 also
+// avoids destructive interference from adjacent-line prefetchers when doubled.
+inline constexpr std::size_t kCacheLine = 64;
+
+// A value padded out to a full cache line so that per-proc mutable state does
+// not false-share with its neighbours (the paper's per-proc runtime variables
+// are laid out the same way).
+template <typename T>
+struct alignas(kCacheLine) CachePadded {
+  T value{};
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace mp::arch

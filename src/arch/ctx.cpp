@@ -1,0 +1,72 @@
+#include "arch/ctx.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "arch/panic.h"
+
+#if MPNJ_CTX_UCONTEXT
+
+// The ucontext backend supplies Context's members from ctx_ucontext.cpp.
+
+#else  // x86-64 assembly backend
+
+extern "C" {
+void mpnj_ctx_swap_asm(void** save_sp, void* new_sp);
+void mpnj_ctx_boot();
+}
+
+namespace mp::arch {
+
+namespace {
+
+// Fabricated frame matching the layout documented in ctx_x86_64.S.
+struct BootFrame {
+  std::uint32_t mxcsr;
+  std::uint32_t fcw;
+  void* r15;
+  void* r14;
+  void* r13;
+  void* r12;  // argument
+  void* rbx;  // entry function
+  void* rbp;
+  void* ret;  // mpnj_ctx_boot
+};
+static_assert(sizeof(BootFrame) == 64);
+
+}  // namespace
+
+Context::~Context() = default;
+
+void ctx_swap(Context& save, Context& to) noexcept {
+  MPNJ_CHECK(to.sp_ != nullptr, "resuming an invalid context");
+  void* target = to.sp_;
+  to.sp_ = nullptr;  // consumed
+  mpnj_ctx_swap_asm(&save.sp_, target);
+}
+
+void ctx_make(Context& out, void* stack_base, std::size_t size,
+              void (*fn)(void*), void* arg) {
+  MPNJ_CHECK(size >= 4096, "context stack too small");
+  auto top = reinterpret_cast<std::uintptr_t>(stack_base) + size;
+  // Place the frame so that the slot above the return address (the stack
+  // pointer immediately after the boot `retq`) is 16-byte aligned; the boot
+  // thunk's `call` then re-establishes the SysV entry alignment for fn.
+  top &= ~static_cast<std::uintptr_t>(15);
+  auto* frame = reinterpret_cast<BootFrame*>(top - sizeof(BootFrame));
+  std::memset(frame, 0, sizeof(BootFrame));
+  // Capture the caller's current FP control state for the new context.
+  std::uint32_t mxcsr = __builtin_ia32_stmxcsr();
+  std::uint16_t fcw;
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  frame->mxcsr = mxcsr;
+  frame->fcw = fcw;
+  frame->r12 = arg;
+  frame->rbx = reinterpret_cast<void*>(fn);
+  frame->ret = reinterpret_cast<void*>(&mpnj_ctx_boot);
+  out.sp_ = frame;
+}
+
+}  // namespace mp::arch
+
+#endif  // backend selection

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+
+namespace mp::arch {
+
+// A saved machine execution context: callee-saved registers plus a stack
+// pointer.  This is the machine-dependent "process saving" primitive (Wand's
+// term) that the continuation layer is built on.  Two backends implement it:
+//
+//   * ctx_x86_64.S  — 30 instructions of SysV assembly (the production path;
+//                     analogous to the paper's 10-34 lines of per-port asm);
+//   * ctx_ucontext  — portable POSIX fallback, slower but runs anywhere
+//                     (analogous to the paper's trivial uniprocessor port).
+//
+// A Context is a passive value; it does not own the stack it points into.
+// Lifetime of stacks is managed by the continuation layer (cont/segment.h).
+class Context {
+ public:
+  Context() noexcept = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+  Context(Context&& other) noexcept : sp_(other.sp_) { other.sp_ = nullptr; }
+  Context& operator=(Context&& other) noexcept {
+    sp_ = other.sp_;
+    other.sp_ = nullptr;
+    return *this;
+  }
+  ~Context();
+
+  bool valid() const noexcept { return sp_ != nullptr; }
+
+ private:
+  friend void ctx_swap(Context& save, Context& to) noexcept;
+  friend void ctx_make(Context& out, void* stack_base, std::size_t size,
+                       void (*fn)(void*), void* arg);
+
+  // asm backend: the saved rsp.  ucontext backend: an owned ucontext_t*.
+  void* sp_ = nullptr;
+};
+
+// Suspend the current execution into `save` and resume `to`.  `to` is
+// consumed (a context may be resumed exactly once; resuming it again without
+// re-saving is a fatal error caught in debug checks by the continuation
+// layer).  Control returns here when somebody later swaps back into `save`.
+void ctx_swap(Context& save, Context& to) noexcept;
+
+// Fabricate a context that, when resumed, invokes fn(arg) on the given stack.
+// `fn` must never return; falling off the bottom frame aborts the process.
+// The stack region [stack_base, stack_base + size) must be writable and at
+// least 4 KiB; the backend may reserve a small header at the top of it.
+void ctx_make(Context& out, void* stack_base, std::size_t size,
+              void (*fn)(void*), void* arg);
+
+}  // namespace mp::arch

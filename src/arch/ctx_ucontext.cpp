@@ -1,0 +1,73 @@
+// Portable context-switch backend built on POSIX ucontext.  Slower than the
+// assembly backend (swapcontext makes a sigprocmask syscall on glibc) but
+// runs on any POSIX platform — the analogue of the paper's trivial
+// uniprocessor port that "works on all processors that run SML/NJ".
+
+#include "arch/ctx.h"
+
+#if MPNJ_CTX_UCONTEXT
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <new>
+
+#include "arch/panic.h"
+
+namespace mp::arch {
+
+namespace {
+
+// makecontext only passes int arguments; smuggle the pointer in two halves.
+void boot_thunk(unsigned hi, unsigned lo) {
+  auto bits = (static_cast<std::uint64_t>(hi) << 32) | lo;
+  auto* pair = reinterpret_cast<void**>(static_cast<std::uintptr_t>(bits));
+  auto fn = reinterpret_cast<void (*)(void*)>(pair[0]);
+  void* arg = pair[1];
+  fn(arg);
+  panic("context entry function returned");
+}
+
+}  // namespace
+
+Context::~Context() {
+  delete static_cast<ucontext_t*>(sp_);
+}
+
+void ctx_swap(Context& save, Context& to) noexcept {
+  MPNJ_CHECK(to.sp_ != nullptr, "resuming an invalid context");
+  if (save.sp_ == nullptr) save.sp_ = new ucontext_t;
+  auto* target = static_cast<ucontext_t*>(to.sp_);
+  if (swapcontext(static_cast<ucontext_t*>(save.sp_), target) != 0) {
+    panic("swapcontext failed");
+  }
+}
+
+void ctx_make(Context& out, void* stack_base, std::size_t size,
+              void (*fn)(void*), void* arg) {
+  MPNJ_CHECK(size >= 8192, "context stack too small");
+  // Reserve a slot at the top of the stack for the (fn, arg) pair so the
+  // context is self-contained; the ucontext_t itself is heap-allocated and
+  // owned by `out`.
+  auto top = (reinterpret_cast<std::uintptr_t>(stack_base) + size) & ~std::uintptr_t{15};
+  auto* pair = reinterpret_cast<void**>(top - 2 * sizeof(void*));
+  pair[0] = reinterpret_cast<void*>(fn);
+  pair[1] = arg;
+
+  delete static_cast<ucontext_t*>(out.sp_);
+  auto* uc = new ucontext_t;
+  if (getcontext(uc) != 0) panic("getcontext failed");
+  uc->uc_stack.ss_sp = stack_base;
+  uc->uc_stack.ss_size = reinterpret_cast<std::uintptr_t>(pair) -
+                         reinterpret_cast<std::uintptr_t>(stack_base);
+  uc->uc_link = nullptr;
+  auto bits = reinterpret_cast<std::uintptr_t>(pair);
+  makecontext(uc, reinterpret_cast<void (*)()>(boot_thunk), 2,
+              static_cast<unsigned>(bits >> 32),
+              static_cast<unsigned>(bits & 0xffffffffu));
+  out.sp_ = uc;
+}
+
+}  // namespace mp::arch
+
+#endif  // MPNJ_CTX_UCONTEXT

@@ -1,0 +1,20 @@
+#include "arch/panic.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mp::arch {
+
+[[noreturn]] void panic(const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::fputs("mpnj: fatal: ", stderr);
+  std::vfprintf(stderr, fmt, ap);
+  std::fputc('\n', stderr);
+  va_end(ap);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mp::arch

@@ -1,0 +1,20 @@
+#pragma once
+
+namespace mp::arch {
+
+// Print a fatal runtime error to stderr and abort.  Used for invariant
+// violations that cannot be reported through normal control flow, e.g.
+// throwing a one-shot continuation twice or returning from a proc's bottom
+// frame.  printf-style formatting.
+[[noreturn]] void panic(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// assert-like check that stays on in release builds; the runtime's invariants
+// guard memory safety of raw context switches, so they are never compiled out.
+#define MPNJ_CHECK(cond, ...)                                         \
+  do {                                                                \
+    if (__builtin_expect(!(cond), 0)) {                               \
+      ::mp::arch::panic("check failed (" #cond "): " __VA_ARGS__);    \
+    }                                                                 \
+  } while (0)
+
+}  // namespace mp::arch

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <atomic>
+
+#include "arch/cacheline.h"
+
+namespace mp::arch {
+
+// Hint to the processor that we are in a spin-wait loop.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// One-bit atomically test-and-set memory location — the hardware primitive
+// underneath Lock.mutex_lock (paper section 3.3).  The Motorola 88100 and the
+// Sequent provide an atomic exchange on a word of memory; on x86-64 the same
+// shape is `xchg` / lock-prefixed exchange, which std::atomic::exchange
+// compiles to.  Padded to a cache line so two locks never contend falsely.
+class alignas(kCacheLine) TasWord {
+ public:
+  TasWord() noexcept = default;
+  TasWord(const TasWord&) = delete;
+  TasWord& operator=(const TasWord&) = delete;
+
+  // Attempt to set; returns true iff the word was previously clear
+  // (i.e. the caller now holds it).  Acquire ordering on success.
+  bool test_and_set() noexcept {
+    // test-test-and-set: avoid the bus transaction when visibly held.
+    if (word_.load(std::memory_order_relaxed) != 0) return false;
+    return word_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  // Clear the word.  Release ordering; may be executed by any proc, not just
+  // the setter (paper: "unlock ... may be called by any proc").
+  void clear() noexcept { word_.store(0, std::memory_order_release); }
+
+  bool is_set() const noexcept {
+    return word_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  std::atomic<std::uint32_t> word_{0};
+};
+
+}  // namespace mp::arch

@@ -1,0 +1,287 @@
+#include "cont/cont.h"
+
+#include <atomic>
+
+#include "arch/tas.h"
+
+namespace mp::cont {
+
+namespace {
+
+// ----- Registry of live cores (for the collector's root scan). -----
+
+std::atomic<std::uint32_t> g_registry_lock{0};
+ContCore* g_registry_head = nullptr;
+std::atomic<std::size_t> g_live_cores{0};
+
+class RegistryGuard {
+ public:
+  RegistryGuard() {
+    while (g_registry_lock.exchange(1, std::memory_order_acquire) != 0) {
+      while (g_registry_lock.load(std::memory_order_relaxed) != 0) {
+        arch::cpu_relax();
+      }
+    }
+  }
+  ~RegistryGuard() { g_registry_lock.store(0, std::memory_order_release); }
+};
+
+// The internal unwind raised by throw_to / fire_preloaded / exit_to_idle.
+// Deliberately not derived from std::exception: catching it with `catch
+// (...)` and not rethrowing is a client bug (it would bypass the segment
+// trampoline), which the trampoline's escape check turns into a panic.
+struct AbandonUnwind {
+  bool to_idle = false;
+  ContRef target;  // PRELOADED continuation to resume (when !to_idle)
+};
+
+}  // namespace
+
+void ContCore::preload(std::uint64_t raw, bool gc_traced) noexcept {
+  slot_ = raw;
+  slot_armed_ = gc_traced;
+  State expected = State::kCaptured;
+  MPNJ_CHECK(state_.compare_exchange_strong(expected, State::kPreloaded,
+                                            std::memory_order_acq_rel),
+             "value delivered to a continuation twice (one-shot violation)");
+}
+
+void cont_unref(ContCore* core) noexcept {
+  if (core->refs_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  {
+    RegistryGuard guard;
+    if (core->reg_prev_ != nullptr) {
+      core->reg_prev_->reg_next_ = core->reg_next_;
+    } else {
+      g_registry_head = core->reg_next_;
+    }
+    if (core->reg_next_ != nullptr) {
+      core->reg_next_->reg_prev_ = core->reg_prev_;
+    }
+  }
+  g_live_cores.fetch_sub(1, std::memory_order_relaxed);
+  StackSegment* seg = core->home_seg_;
+  if (core->state_.load(std::memory_order_relaxed) != ContCore::State::kFired) {
+    // An abandoned, never-resumed continuation: un-count its seal so the
+    // segment can be reclaimed.
+    seg->live_seals.fetch_sub(1, std::memory_order_relaxed);
+  }
+  delete core;
+  if (seg != nullptr) seg->drop_ref();
+}
+
+namespace detail {
+
+ContRef ContOps::make_sealed_core() {
+  ExecContext* ex = current_exec();
+  MPNJ_CHECK(ex != nullptr && ex->seg != nullptr,
+             "callcc outside a proc's client context");
+  const int prev_seals =
+      ex->seg->live_seals.fetch_add(1, std::memory_order_relaxed);
+  MPNJ_CHECK(prev_seals == 0,
+             "two live continuations sealed into one segment");
+  auto* core = new ContCore();
+  core->refs_.store(1, std::memory_order_relaxed);
+  core->home_seg_ = ex->seg;
+  ex->seg->add_ref();
+  core->root_head_ = ex->root_head;
+  {
+    RegistryGuard guard;
+    core->reg_next_ = g_registry_head;
+    if (g_registry_head != nullptr) g_registry_head->reg_prev_ = core;
+    g_registry_head = core;
+  }
+  g_live_cores.fetch_add(1, std::memory_order_relaxed);
+  return ContRef::adopt(core);
+}
+
+std::uint64_t ContOps::seal_and_switch(ContRef sealed, StackSegment* fresh) {
+  ExecContext* ex = current_exec();
+  // The suspended frame keeps only a raw pointer: the continuation is owned
+  // by the boot record / clients while suspended and by the firing side's
+  // pending_unref hand-off while being resumed.
+  ContCore* core = sealed.get();
+  sealed.reset();  // boot record + parent linkage keep the core alive
+  MPNJ_CHECK(ex->pending_release == nullptr, "nested pending segment release");
+  ex->pending_release = ex->seg;  // running reference; the core holds its own
+  ex->seg = fresh;                // fresh arrives with its pool reference
+  ex->root_head = nullptr;        // the body starts a fresh root chain
+  arch::ctx_swap(core->ctx_, fresh->boot_ctx);
+  // Fired: possibly executing on a different proc (or kernel thread) now.
+  // Read the delivered value (and the cancel mark) before process_pending
+  // drops the firing side's reference to the core.
+  core->slot_armed_ = false;
+  const std::uint64_t raw = core->slot_;
+  const bool cancelled = core->cancel_;
+  current_exec()->process_pending();
+  if (cancelled) throw ThreadCancelled();
+  return raw;
+}
+
+[[noreturn]] void ContOps::fire(ContRef k) {
+  MPNJ_CHECK(k.get() != nullptr, "fire of a null continuation");
+  MPNJ_CHECK(k.get()->state() == ContCore::State::kPreloaded,
+             "continuation fired twice or fired without a value");
+  throw AbandonUnwind{/*to_idle=*/false, std::move(k)};
+}
+
+[[noreturn]] void ContOps::to_idle() {
+  throw AbandonUnwind{/*to_idle=*/true, {}};
+}
+
+[[noreturn]] void ContOps::resume_target(ContRef k) {
+  ContCore* core = k.get();
+  auto prev = core->state_.exchange(ContCore::State::kFired,
+                                    std::memory_order_acq_rel);
+  MPNJ_CHECK(prev == ContCore::State::kPreloaded,
+             "continuation fired twice (lost the one-shot race)");
+  core->home_seg_->live_seals.fetch_sub(1, std::memory_order_relaxed);
+  ExecContext* ex = current_exec();
+  MPNJ_CHECK(ex->pending_release == nullptr, "nested pending segment release");
+  MPNJ_CHECK(ex->pending_unref == nullptr, "nested pending core unref");
+  ex->pending_release = ex->seg;
+  ex->seg = core->home_seg_;
+  ex->seg->add_ref();
+  ex->root_head = core->root_head_;
+  arch::Context target = std::move(core->ctx_);
+  // Hand our reference across the switch; the resumed side drops it after
+  // reading the value slot.
+  ex->pending_unref = k.release();
+  arch::Context dead;
+  arch::ctx_swap(dead, target);
+  arch::panic("abandoned context was resumed");
+}
+
+[[noreturn]] void ContOps::return_to_idle() {
+  ExecContext* ex = current_exec();
+  MPNJ_CHECK(ex->idle_ctx != nullptr, "no idle loop to release this proc to");
+  MPNJ_CHECK(ex->pending_release == nullptr, "nested pending segment release");
+  ex->pending_release = ex->seg;
+  ex->seg = nullptr;
+  ex->root_head = nullptr;
+  arch::Context dead;
+  arch::ctx_swap(dead, *ex->idle_ctx);
+  arch::panic("abandoned context was resumed");
+}
+
+[[noreturn]] void trampoline(void* seg_arg) {
+  auto* seg = static_cast<StackSegment*>(seg_arg);
+  ExecContext* ex = current_exec();
+  ex->process_pending();
+  std::unique_ptr<BootRecord> rec(static_cast<BootRecord*>(seg->boot_record));
+  seg->boot_record = nullptr;
+  ContRef fire_target;
+  bool to_idle = false;
+  try {
+    rec->run();
+    arch::panic("callcc body escaped without transferring control");
+  } catch (AbandonUnwind& u) {
+    to_idle = u.to_idle;
+    fire_target = std::move(u.target);
+  } catch (...) {
+    arch::panic("uncaught C++ exception crossed a continuation boundary");
+  }
+  rec.reset();
+  if (to_idle) ContOps::return_to_idle();
+  ContOps::resume_target(std::move(fire_target));
+}
+
+StackSegment* boot_segment(std::unique_ptr<BootRecord> rec, ContCore* parent) {
+  StackSegment* seg = SegmentPool::instance().acquire();
+  if (parent != nullptr) {
+    ContRef keep{parent};  // +1 for the segment's parent linkage
+    seg->parent_cont = keep.release();
+  }
+  seg->boot_record = rec.release();
+  arch::ctx_make(seg->boot_ctx, seg->stack_base(), seg->stack_size(),
+                 &trampoline, seg);
+  return seg;
+}
+
+ContRef ContOps::adopt_entry_segment(StackSegment* seg) {
+  auto* core = new ContCore();
+  core->refs_.store(1, std::memory_order_relaxed);
+  core->home_seg_ = seg;  // adopts the pool reference
+  core->root_head_ = nullptr;
+  core->ctx_ = std::move(seg->boot_ctx);
+  seg->live_seals.store(1, std::memory_order_relaxed);
+  core->state_.store(ContCore::State::kPreloaded, std::memory_order_relaxed);
+  core->slot_ = 0;
+  {
+    RegistryGuard guard;
+    core->reg_next_ = g_registry_head;
+    if (g_registry_head != nullptr) g_registry_head->reg_prev_ = core;
+    g_registry_head = core;
+  }
+  g_live_cores.fetch_add(1, std::memory_order_relaxed);
+  return ContRef::adopt(core);
+}
+
+void ContOps::enter_from_idle(ContRef k, ExecContext& ex) {
+  MPNJ_CHECK(ex.seg == nullptr, "proc entering the client world twice");
+  MPNJ_CHECK(ex.idle_ctx != nullptr, "proc has no idle context");
+  ContCore* core = k.get();
+  MPNJ_CHECK(core != nullptr, "entering from idle with a null continuation");
+  auto prev = core->state_.exchange(ContCore::State::kFired,
+                                    std::memory_order_acq_rel);
+  MPNJ_CHECK(prev == ContCore::State::kPreloaded,
+             "continuation fired twice (proc entry)");
+  core->home_seg_->live_seals.fetch_sub(1, std::memory_order_relaxed);
+  MPNJ_CHECK(ex.pending_unref == nullptr, "nested pending core unref");
+  ex.seg = core->home_seg_;
+  ex.seg->add_ref();
+  ex.root_head = core->root_head_;
+  arch::Context target = std::move(core->ctx_);
+  ex.pending_unref = k.release();  // dropped by the resumed side
+  arch::ctx_swap(*ex.idle_ctx, target);
+  // The client released this proc.
+  ex.process_pending();
+  MPNJ_CHECK(ex.seg == nullptr, "client returned to idle without releasing");
+}
+
+void ContOps::for_each(const std::function<void(ContCore&)>& fn) {
+  RegistryGuard guard;
+  for (ContCore* c = g_registry_head; c != nullptr; c = c->reg_next_) {
+    fn(*c);
+  }
+}
+
+}  // namespace detail
+
+ContRef make_entry(std::function<void()> f) {
+  struct EntryRecord final : detail::BootRecord {
+    std::function<void()> f;
+    explicit EntryRecord(std::function<void()> fn) : f(std::move(fn)) {}
+    void run() override {
+      f();
+      // Thread body completed: this proc goes back to its idle loop.
+      detail::ContOps::to_idle();
+    }
+  };
+  StackSegment* seg = detail::boot_segment(
+      std::make_unique<EntryRecord>(std::move(f)), /*parent=*/nullptr);
+  return detail::ContOps::adopt_entry_segment(seg);
+}
+
+void run_from_idle(ContRef k, ExecContext& exec) {
+  detail::ContOps::enter_from_idle(std::move(k), exec);
+}
+
+void mark_cancel(const ContRef& k) {
+  ContCore* core = k.get();
+  MPNJ_CHECK(core != nullptr, "mark_cancel on a null continuation");
+  core->cancel_ = true;
+  if (core->state() == ContCore::State::kCaptured) {
+    core->preload(0, false);
+  }
+}
+
+void for_each_core(const std::function<void(ContCore&)>& fn) {
+  detail::ContOps::for_each(fn);
+}
+
+std::size_t live_core_count() {
+  return g_live_cores.load(std::memory_order_relaxed);
+}
+
+}  // namespace mp::cont

@@ -1,0 +1,12 @@
+#include "cont/exec.h"
+
+namespace mp::cont {
+
+namespace {
+thread_local ExecContext* tl_exec = nullptr;
+}
+
+ExecContext* current_exec() noexcept { return tl_exec; }
+void set_current_exec(ExecContext* exec) noexcept { tl_exec = exec; }
+
+}  // namespace mp::cont

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "arch/ctx.h"
+#include "cont/segment.h"
+
+namespace mp::cont {
+
+// Per-proc execution state visible to the continuation layer.  The platform
+// backends own one ExecContext per proc; a thread-local pointer names the one
+// belonging to the proc currently executing on this kernel thread (in the
+// simulator everything runs on one kernel thread and the engine retargets the
+// pointer on every virtual-proc switch).
+struct ExecContext {
+  // Segment the proc is executing on; the proc holds one ("running")
+  // reference to it.  Null while the proc sits in its idle loop.
+  StackSegment* seg = nullptr;
+
+  // Head of the GC root chain of the logical thread currently executing.
+  // Opaque to this layer; saved into and restored from continuations.
+  void* root_head = nullptr;
+
+  // Segment whose running reference must be dropped by the next resume
+  // point.  A proc abandoning its segment cannot free it while still
+  // executing on it, so the drop is deferred across the context switch.
+  StackSegment* pending_release = nullptr;
+
+  // Continuation core whose reference must be dropped by the next resume
+  // point.  The side firing a continuation hands its reference across the
+  // context switch this way, so the core stays alive until the resumed side
+  // has read the delivered value.
+  ContCore* pending_unref = nullptr;
+
+  // Where release_proc()/exit_to_idle() returns control: the proc's idle
+  // loop, owned by the platform backend.
+  arch::Context* idle_ctx = nullptr;
+
+  // Drop any deferred references.  Called at every resume point (after the
+  // resumed code has read the fired continuation's value slot).
+  void process_pending() noexcept {
+    if (pending_release != nullptr) {
+      StackSegment* seg_to_drop = pending_release;
+      pending_release = nullptr;
+      seg_to_drop->drop_ref();
+    }
+    if (pending_unref != nullptr) {
+      ContCore* core_to_drop = pending_unref;
+      pending_unref = nullptr;
+      cont_unref(core_to_drop);
+    }
+  }
+};
+
+// The executing proc's context; set by the platform backends.
+ExecContext* current_exec() noexcept;
+void set_current_exec(ExecContext* exec) noexcept;
+
+}  // namespace mp::cont

@@ -1,0 +1,124 @@
+#include "cont/segment.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "arch/panic.h"
+#include "arch/tas.h"
+
+namespace mp::cont {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+// Minimal scoped spinlock over a raw atomic word; the pool cannot use the
+// platform Lock because it sits below the platform.
+class ScopedSpin {
+ public:
+  explicit ScopedSpin(std::atomic<std::uint32_t>& word) : word_(word) {
+    while (word_.exchange(1, std::memory_order_acquire) != 0) {
+      while (word_.load(std::memory_order_relaxed) != 0) arch::cpu_relax();
+    }
+  }
+  ~ScopedSpin() { word_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint32_t>& word_;
+};
+
+}  // namespace
+
+void StackSegment::drop_ref() noexcept {
+  if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    MPNJ_CHECK(live_seals.load(std::memory_order_relaxed) == 0,
+               "segment freed with live sealed continuations");
+    SegmentPool::instance().recycle(this);
+  }
+}
+
+SegmentPool& SegmentPool::instance() {
+  static SegmentPool pool;
+  return pool;
+}
+
+void SegmentPool::set_segment_size(std::size_t bytes) {
+  MPNJ_CHECK(outstanding_.load() == 0,
+             "cannot resize segments while segments are outstanding");
+  MPNJ_CHECK(bytes >= 8 * 1024, "segment size too small");
+  if (bytes != seg_size_) {
+    trim();
+    seg_size_ = round_up(bytes, page_size());
+  }
+}
+
+StackSegment* SegmentPool::allocate_fresh() {
+  const std::size_t guard = page_size();
+  const std::size_t usable = round_up(seg_size_, page_size());
+  const std::size_t total = guard + usable;
+  void* mem = mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) arch::panic("segment mmap failed");
+  if (mprotect(mem, guard, PROT_NONE) != 0) {
+    arch::panic("segment guard mprotect failed");
+  }
+  auto* seg = new StackSegment();
+  seg->map_base_ = static_cast<std::byte*>(mem);
+  seg->map_size_ = total;
+  seg->usable_base_ = seg->map_base_ + guard;
+  seg->usable_size_ = usable;
+  created_.fetch_add(1, std::memory_order_relaxed);
+  return seg;
+}
+
+StackSegment* SegmentPool::acquire() {
+  StackSegment* seg = nullptr;
+  {
+    ScopedSpin guard(lock_);
+    if (free_list_ != nullptr) {
+      seg = free_list_;
+      free_list_ = seg->free_next_;
+      seg->free_next_ = nullptr;
+    }
+  }
+  if (seg == nullptr) seg = allocate_fresh();
+  seg->refs_.store(1, std::memory_order_relaxed);
+  seg->parent_cont = nullptr;
+  seg->boot_record = nullptr;
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  return seg;
+}
+
+void SegmentPool::recycle(StackSegment* seg) noexcept {
+  if (seg->parent_cont != nullptr) {
+    // Releasing an abandoned segment releases its parent continuation; this
+    // may cascade and free an entire suspended chain.
+    cont_unref(seg->parent_cont);
+    seg->parent_cont = nullptr;
+  }
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  ScopedSpin guard(lock_);
+  seg->free_next_ = free_list_;
+  free_list_ = seg;
+}
+
+void SegmentPool::trim() {
+  ScopedSpin guard(lock_);
+  while (free_list_ != nullptr) {
+    StackSegment* seg = free_list_;
+    free_list_ = seg->free_next_;
+    munmap(seg->map_base_, seg->map_size_);
+    delete seg;
+  }
+}
+
+}  // namespace mp::cont

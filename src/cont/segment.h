@@ -1,0 +1,108 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "arch/ctx.h"
+
+namespace mp::cont {
+
+class ContCore;
+void cont_unref(ContCore* core) noexcept;  // defined in cont.cpp
+
+// A heap-allocated stack segment.  Continuation capture seals the current
+// segment into the continuation and moves execution to a fresh segment, so
+// capture is O(1) — the property that makes SML/NJ-style threads cheap
+// (paper section 2: "callcc simply allocates and initializes a new closure
+// without having to copy anything").
+//
+// Lifetime is reference counted.  References are held by:
+//   * the proc currently executing on the segment (the "running" reference),
+//   * every continuation whose saved frame lives in the segment,
+//   * nothing else — queues and clients reference ContCores, not segments.
+// In addition a segment holds one reference to its *parent continuation*:
+// the continuation that a normal return off the segment's bottom frame
+// implicitly fires.  Dropping the last reference to a segment therefore
+// releases the parent continuation too, which reclaims abandoned
+// continuation chains without unwinding them.
+class StackSegment {
+ public:
+  std::byte* stack_base() const noexcept { return usable_base_; }
+  std::size_t stack_size() const noexcept { return usable_size_; }
+
+  void add_ref() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
+  // Drops one reference; frees the segment (returning it to the pool) and
+  // releases the parent continuation when the count reaches zero.  Must not
+  // be called on the segment the caller is currently executing on — defer
+  // through ExecContext::pending_release instead.
+  void drop_ref() noexcept;
+
+  // Parent continuation fired on normal return off this segment's bottom
+  // frame; owned (one ContCore reference).  Managed by callcc/trampoline.
+  ContCore* parent_cont = nullptr;
+
+  // Boot context fabricated by ctx_make for this segment's trampoline.
+  arch::Context boot_ctx;
+
+  // Type-erased boot record for the pending callcc body (see cont.cpp).
+  void* boot_record = nullptr;
+
+  // Debug invariant: number of live *unfired* continuations sealed into this
+  // segment.  More than one would mean a resumed execution could overwrite
+  // another live continuation's frames.
+  std::atomic<int> live_seals{0};
+
+ private:
+  friend class SegmentPool;
+  StackSegment() = default;
+  ~StackSegment() = default;
+
+  std::atomic<int> refs_{0};
+  std::byte* map_base_ = nullptr;   // start of the mmap (guard page)
+  std::size_t map_size_ = 0;
+  std::byte* usable_base_ = nullptr;
+  std::size_t usable_size_ = 0;
+  StackSegment* free_next_ = nullptr;
+};
+
+// Process-wide pool of equally sized stack segments.  Segments are mmap'd
+// with an inaccessible guard page below the stack (stacks grow down), so a
+// segment overflow faults instead of corrupting a neighbour.
+class SegmentPool {
+ public:
+  static SegmentPool& instance();
+
+  // Size of the usable stack area of every pooled segment.  May only be
+  // changed while no segments are outstanding (e.g. in tests / at startup).
+  void set_segment_size(std::size_t bytes);
+  std::size_t segment_size() const noexcept { return seg_size_; }
+
+  // Returns a segment with one reference (the caller's running reference).
+  StackSegment* acquire();
+  // Internal: called by StackSegment::drop_ref when the count reaches zero.
+  void recycle(StackSegment* seg) noexcept;
+
+  // Statistics for tests and leak checks.
+  std::int64_t outstanding() const noexcept {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+  std::int64_t total_created() const noexcept {
+    return created_.load(std::memory_order_relaxed);
+  }
+  // Unmaps all free-listed segments (tests use this between configurations).
+  void trim();
+
+ private:
+  SegmentPool() = default;
+
+  StackSegment* allocate_fresh();
+
+  std::atomic<std::uint32_t> lock_{0};
+  StackSegment* free_list_ = nullptr;
+  std::size_t seg_size_ = 64 * 1024;
+  std::atomic<std::int64_t> outstanding_{0};
+  std::atomic<std::int64_t> created_{0};
+};
+
+}  // namespace mp::cont

@@ -1,0 +1,546 @@
+#include "gc/heap.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "arch/tas.h"
+#include "cont/cont.h"
+
+namespace mp::gc {
+
+namespace {
+
+constexpr std::size_t kWord = sizeof(std::uint64_t);
+constexpr std::size_t kMaxInlineFields = 64;
+
+std::uint64_t make_header(ObjKind kind, std::size_t length) {
+  return (static_cast<std::uint64_t>(length) << 4) |
+         (static_cast<std::uint64_t>(kind) << 1);
+}
+
+std::size_t header_field_words(std::uint64_t hdr) {
+  const auto kind = static_cast<ObjKind>((hdr >> 1) & 0x7u);
+  const std::size_t len = static_cast<std::size_t>(hdr >> 4);
+  if (kind == ObjKind::kBytes || kind == ObjKind::kReal) {
+    return (len + kWord - 1) / kWord;  // length counts payload bytes
+  }
+  return len;  // length counts Value fields
+}
+
+bool header_is_traced(std::uint64_t hdr) {
+  const auto kind = static_cast<ObjKind>((hdr >> 1) & 0x7u);
+  return kind == ObjKind::kRecord || kind == ObjKind::kArray ||
+         kind == ObjKind::kRef;
+}
+
+class Spin {
+ public:
+  explicit Spin(std::atomic<std::uint32_t>& word) : word_(word) {
+    while (word_.exchange(1, std::memory_order_acquire) != 0) {
+      while (word_.load(std::memory_order_relaxed) != 0) arch::cpu_relax();
+    }
+  }
+  ~Spin() { word_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint32_t>& word_;
+};
+
+// RAII temp root frame used inside allocation: roots the allocation's own
+// argument values so a collection triggered by the slow path (or by another
+// proc at the charge point) updates them.
+class TempRoots {
+ public:
+  TempRoots(Value* slots, std::size_t n) {
+    cont::ExecContext* ex = cont::current_exec();
+    MPNJ_CHECK(ex != nullptr && ex->seg != nullptr,
+               "heap allocation outside a proc's client context");
+    hdr_.prev = static_cast<RootFrameHdr*>(ex->root_head);
+    hdr_.slots = slots;
+    hdr_.count = n;
+    ex->root_head = &hdr_;
+  }
+  ~TempRoots() {
+    // Pop from the current proc: a preemption delivered at the allocation's
+    // charge point may have migrated the thread.
+    cont::ExecContext* ex = cont::current_exec();
+    MPNJ_CHECK(ex != nullptr && ex->root_head == &hdr_,
+               "allocation root frame popped out of order");
+    ex->root_head = hdr_.prev;
+  }
+
+ private:
+  RootFrameHdr hdr_;
+};
+
+}  // namespace
+
+Heap::Heap(const HeapConfig& config, CollectorHooks& hooks)
+    : cfg_(config), hooks_(hooks) {
+  nursery_words_ = cfg_.nursery_bytes / kWord;
+  const std::size_t nproc = static_cast<std::size_t>(hooks_.nproc());
+  num_chunks_ = std::max<std::size_t>(1, nproc * cfg_.chunks_per_proc);
+  chunk_words_ = nursery_words_ / num_chunks_;
+  MPNJ_CHECK(chunk_words_ >= 64, "nursery chunks too small; grow the nursery");
+  nursery_ = new std::uint64_t[nursery_words_];
+  old_words_ = cfg_.old_bytes / kWord;
+  old_a_ = new std::uint64_t[old_words_];
+  old_b_ = new std::uint64_t[old_words_];
+  old_cur_ = old_a_;
+  old_alloc_ = old_a_;
+  proc_heaps_.resize(nproc);
+  free_chunks_.reserve(num_chunks_);
+  for (std::size_t i = num_chunks_; i > 0; i--) {
+    free_chunks_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+}
+
+Heap::~Heap() {
+  MPNJ_CHECK(global_roots_ == nullptr,
+             "heap destroyed while GlobalRoots are still registered");
+  delete[] nursery_;
+  delete[] old_a_;
+  delete[] old_b_;
+}
+
+bool Heap::in_nursery(Value v) const {
+  if (!v.is_ptr()) return false;
+  auto* p = reinterpret_cast<std::uint64_t*>(v.raw_bits());
+  return p >= nursery_ && p < nursery_ + nursery_words_;
+}
+
+bool Heap::in_old_space(Value v) const {
+  if (!v.is_ptr()) return false;
+  auto* p = reinterpret_cast<std::uint64_t*>(v.raw_bits());
+  return p >= old_cur_ && p < old_alloc_;
+}
+
+std::size_t Heap::old_space_used_words() const {
+  return static_cast<std::size_t>(old_alloc_ - old_cur_);
+}
+
+std::size_t Heap::nursery_free_chunks() const { return free_chunks_.size(); }
+
+HeapStats Heap::stats() const {
+  HeapStats s = stats_;
+  for (const auto& ph : proc_heaps_) {
+    s.words_allocated += ph.words_allocated;
+    s.allocations += ph.allocations;
+    s.stores_recorded += ph.stores_recorded;
+  }
+  return s;
+}
+
+// ----- allocation -----
+
+bool Heap::grab_chunk(ProcHeap& ph) {
+  Spin guard(chunk_lock_);
+  if (free_chunks_.empty()) return false;
+  const std::uint32_t idx = free_chunks_.back();
+  free_chunks_.pop_back();
+  ph.alloc = nursery_ + static_cast<std::size_t>(idx) * chunk_words_;
+  ph.limit = ph.alloc + chunk_words_;
+  ph.chunks_since_gc++;
+  stats_.chunk_grabs++;
+  const std::uint64_t fair =
+      num_chunks_ / static_cast<std::size_t>(hooks_.nproc());
+  if (ph.chunks_since_gc > fair) stats_.chunk_steals++;
+  return true;
+}
+
+std::uint64_t* Heap::alloc_raw(ObjKind kind, std::size_t field_words,
+                               std::size_t length_for_header,
+                               std::span<Value> rooted_args) {
+  const int pid = hooks_.cur_proc();
+  MPNJ_CHECK(pid >= 0, "allocation outside a proc");
+  ProcHeap& ph = proc_heaps_[static_cast<std::size_t>(pid)];
+  const std::size_t words = 1 + field_words;
+
+  // Charge point (a clean point: another proc's collection may run here; the
+  // argument values are protected by the caller's TempRoots frame).
+  hooks_.charge_alloc(words);
+
+  std::uint64_t* obj;
+  if (words > chunk_words_) {
+    obj = alloc_large(words);
+  } else {
+    while (ph.limit == nullptr ||
+           static_cast<std::size_t>(ph.limit - ph.alloc) < words) {
+      if (!grab_chunk(ph)) run_gc_cycle(false, rooted_args);
+    }
+    obj = ph.alloc;
+    ph.alloc += words;
+  }
+  obj[0] = make_header(kind, length_for_header);
+  ph.words_allocated += words;
+  ph.allocations++;
+  return obj;
+}
+
+std::uint64_t* Heap::alloc_large(std::size_t words) {
+  for (int attempt = 0; attempt < 3; attempt++) {
+    {
+      Spin guard(old_lock_);
+      if (static_cast<std::size_t>((old_cur_ + old_words_) - old_alloc_) >=
+          words) {
+        std::uint64_t* obj = old_alloc_;
+        old_alloc_ += words;
+        stats_.large_allocs++;
+        return obj;
+      }
+    }
+    run_gc_cycle(/*force_major=*/true, {});
+  }
+  arch::panic("old generation exhausted by a large allocation of %zu words",
+              words);
+}
+
+Value Heap::alloc_record(std::span<const Value> fields) {
+  MPNJ_CHECK(fields.size() <= kMaxInlineFields,
+             "records are limited to %d fields; use an array",
+             static_cast<int>(kMaxInlineFields));
+  Value buf[kMaxInlineFields];
+  std::copy(fields.begin(), fields.end(), buf);
+  TempRoots roots(buf, fields.size());
+  std::uint64_t* obj =
+      alloc_raw(ObjKind::kRecord, fields.size(), fields.size(),
+                std::span<Value>(buf, fields.size()));
+  for (std::size_t i = 0; i < fields.size(); i++) obj[1 + i] = buf[i].raw_bits();
+  return Value::from_raw_bits(reinterpret_cast<std::uint64_t>(obj));
+}
+
+Value Heap::alloc_array(std::size_t n, Value init) {
+  Value buf[1] = {init};
+  TempRoots roots(buf, 1);
+  std::uint64_t* obj =
+      alloc_raw(ObjKind::kArray, n, n, std::span<Value>(buf, 1));
+  for (std::size_t i = 0; i < n; i++) obj[1 + i] = buf[0].raw_bits();
+  return Value::from_raw_bits(reinterpret_cast<std::uint64_t>(obj));
+}
+
+Value Heap::alloc_ref(Value init) {
+  Value buf[1] = {init};
+  TempRoots roots(buf, 1);
+  std::uint64_t* obj = alloc_raw(ObjKind::kRef, 1, 1, std::span<Value>(buf, 1));
+  obj[1] = buf[0].raw_bits();
+  return Value::from_raw_bits(reinterpret_cast<std::uint64_t>(obj));
+}
+
+Value Heap::alloc_bytes(std::string_view data) {
+  const std::size_t payload_words = (data.size() + kWord - 1) / kWord;
+  std::uint64_t* obj =
+      alloc_raw(ObjKind::kBytes, payload_words, data.size(), {});
+  if (payload_words > 0) obj[payload_words] = 0;  // zero the tail word
+  std::memcpy(obj + 1, data.data(), data.size());
+  return Value::from_raw_bits(reinterpret_cast<std::uint64_t>(obj));
+}
+
+Value Heap::alloc_real(double d) {
+  std::uint64_t* obj = alloc_raw(ObjKind::kReal, 1, sizeof(double), {});
+  std::memcpy(obj + 1, &d, sizeof(double));
+  return Value::from_raw_bits(reinterpret_cast<std::uint64_t>(obj));
+}
+
+// ----- mutation -----
+
+void Heap::store(Value obj, std::size_t index, Value v) {
+  MPNJ_CHECK(obj.is_ptr(), "store to a non-pointer Value");
+  const ObjKind k = obj.kind();
+  MPNJ_CHECK(k == ObjKind::kArray || k == ObjKind::kRef,
+             "store to an immutable object");
+  MPNJ_CHECK(index < obj.length(), "store index out of range");
+  std::uint64_t* slot = obj.obj() + 1 + index;
+  *slot = v.raw_bits();
+  // Record assignments into the old generation: the minor collector scans
+  // them as roots (SML/NJ's store list for old-to-young pointers).
+  auto* p = reinterpret_cast<std::uint64_t*>(obj.raw_bits());
+  if (p >= old_cur_ && p < old_alloc_) {
+    const int pid = hooks_.cur_proc();
+    ProcHeap& ph = proc_heaps_[static_cast<std::size_t>(pid)];
+    ph.store_list.push_back(slot);
+    ph.stores_recorded++;
+  }
+}
+
+// ----- collection -----
+
+void Heap::run_gc_cycle(bool force_major, std::span<Value> rooted_args) {
+  (void)rooted_args;  // already linked into the root chain by the caller
+  bool expected = false;
+  if (gc_in_progress_.compare_exchange_strong(expected, true)) {
+    hooks_.stop_world();
+    do_collect(force_major, {});
+    gc_in_progress_.store(false);
+    hooks_.resume_world();
+  } else {
+    // Another proc is collecting: reach a clean point, then let the caller
+    // retry its chunk grab against the refilled nursery.
+    hooks_.gc_yield();
+  }
+}
+
+void Heap::collect_now(bool force_major) {
+  for (;;) {
+    bool expected = false;
+    if (gc_in_progress_.compare_exchange_strong(expected, true)) {
+      hooks_.stop_world();
+      do_collect(force_major, {});
+      gc_in_progress_.store(false);
+      hooks_.resume_world();
+      return;
+    }
+    hooks_.gc_yield();
+  }
+}
+
+void Heap::forward_slot(std::uint64_t* slot) {
+  const std::uint64_t bits = *slot;
+  if (bits == 0 || (bits & 1u) != 0) return;  // nil or immediate int
+  auto* obj = reinterpret_cast<std::uint64_t*>(bits);
+  if (obj < from_lo_ || obj >= from_hi_) return;  // not in the space evacuated
+  const std::uint64_t hdr = obj[0];
+  if ((hdr & 1u) != 0) {  // already copied: header holds forwarding pointer
+    *slot = hdr & ~std::uint64_t{1};
+    return;
+  }
+  const std::size_t words = 1 + header_field_words(hdr);
+  MPNJ_CHECK(old_alloc_ + words <= old_cur_ + old_words_,
+             "old generation exhausted during collection; grow old_bytes");
+  std::uint64_t* dst = old_alloc_;
+  old_alloc_ += words;
+  std::memcpy(dst, obj, words * kWord);
+  const auto fwd = reinterpret_cast<std::uint64_t>(dst);
+  obj[0] = fwd | 1u;
+  *slot = fwd;
+}
+
+std::uint64_t* Heap::scan_object(std::uint64_t* obj) {
+  const std::uint64_t hdr = obj[0];
+  const std::size_t words = header_field_words(hdr);
+  if (header_is_traced(hdr)) {
+    for (std::size_t i = 0; i < words; i++) forward_slot(obj + 1 + i);
+  }
+  return obj + 1 + words;
+}
+
+void Heap::evacuate_roots(std::span<Value> extra_roots) {
+  auto forward_value = [this](Value* v) {
+    forward_slot(reinterpret_cast<std::uint64_t*>(v));
+  };
+  auto walk_chain = [&](void* head) {
+    for (auto* f = static_cast<RootFrameHdr*>(head); f != nullptr;
+         f = f->prev) {
+      for (std::size_t i = 0; i < f->count; i++) forward_value(&f->slots[i]);
+    }
+  };
+
+  for (Value& v : extra_roots) forward_value(&v);
+
+  // Running procs' current root chains.
+  for (int id = 0; id < hooks_.nproc(); id++) {
+    if (cont::ExecContext* ex = hooks_.proc_exec(id)) walk_chain(ex->root_head);
+  }
+
+  // Suspended threads: every live un-fired continuation's chain, plus any
+  // Value payload already delivered to a queued continuation.
+  cont::for_each_core([&](cont::ContCore& core) {
+    const auto st = core.state();
+    if (st == cont::ContCore::State::kFired) return;
+    walk_chain(core.root_head());
+    if (core.slot_is_gc_ref()) forward_slot(core.slot_ptr());
+  });
+
+  // Individually registered roots (values inside C++ containers).
+  {
+    Spin guard(roots_lock_);
+    for (GlobalRoot* r = global_roots_; r != nullptr; r = r->next_) {
+      forward_value(&r->value_);
+    }
+  }
+}
+
+void Heap::do_collect(bool force_major, std::span<Value> extra_roots) {
+  std::uint64_t copied = 0;
+
+  // --- minor: evacuate the nursery into the old generation ---
+  from_lo_ = nursery_;
+  from_hi_ = nursery_ + nursery_words_;
+  std::uint64_t* const minor_start = old_alloc_;
+  std::uint64_t* scan = old_alloc_;
+  evacuate_roots(extra_roots);
+  for (auto& ph : proc_heaps_) {
+    for (std::uint64_t* slot : ph.store_list) {
+      // Only assignments into live old objects still matter; slots inside
+      // the nursery belong to young objects the trace reaches anyway.
+      if (slot >= old_cur_ && slot < old_alloc_) forward_slot(slot);
+    }
+  }
+  while (scan < old_alloc_) scan = scan_object(scan);
+  const auto minor_copied = static_cast<std::uint64_t>(old_alloc_ - minor_start);
+  stats_.words_copied_minor += minor_copied;
+  copied += minor_copied;
+
+  // Reset the nursery: every chunk becomes free and every proc grabs anew.
+  {
+    Spin guard(chunk_lock_);
+    free_chunks_.clear();
+    for (std::size_t i = num_chunks_; i > 0; i--) {
+      free_chunks_.push_back(static_cast<std::uint32_t>(i - 1));
+    }
+  }
+  for (auto& ph : proc_heaps_) {
+    ph.alloc = nullptr;
+    ph.limit = nullptr;
+    ph.store_list.clear();
+    ph.chunks_since_gc = 0;
+  }
+  stats_.minor_gcs++;
+
+  // --- major: copy the old generation into the other semispace ---
+  const bool need_major =
+      force_major || static_cast<double>(old_space_used_words()) >
+                         cfg_.major_fraction * static_cast<double>(old_words_);
+  if (need_major) {
+    from_lo_ = old_cur_;
+    from_hi_ = old_cur_ + old_words_;
+    std::uint64_t* to = (old_cur_ == old_a_) ? old_b_ : old_a_;
+    old_cur_ = to;
+    old_alloc_ = to;
+    std::uint64_t* mscan = to;
+    evacuate_roots(extra_roots);
+    while (mscan < old_alloc_) mscan = scan_object(mscan);
+    stats_.major_gcs++;
+    const auto major_copied = static_cast<std::uint64_t>(old_alloc_ - to);
+    stats_.words_copied_major += major_copied;
+    copied += major_copied;
+  }
+
+  hooks_.charge_gc(copied);
+  from_lo_ = nullptr;
+  from_hi_ = nullptr;
+}
+
+// ----- verification -----
+
+namespace {
+
+std::string describe_ptr(const void* p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%p", p);
+  return buf;
+}
+
+}  // namespace
+
+bool Heap::verify(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  auto valid_value = [&](std::uint64_t bits) {
+    if (bits == 0 || (bits & 1u) != 0) return true;  // nil or immediate
+    if ((bits & 7u) != 0) return false;              // misaligned pointer
+    auto* p = reinterpret_cast<std::uint64_t*>(bits);
+    const bool young = p >= nursery_ && p < nursery_ + nursery_words_;
+    const bool old = p >= old_cur_ && p < old_alloc_;
+    return young || old;
+  };
+
+  // Every object in the old generation must parse.
+  const std::uint64_t* obj = old_cur_;
+  while (obj < old_alloc_) {
+    const std::uint64_t hdr = *obj;
+    if ((hdr & 1u) != 0) {
+      return fail("forwarding pointer outside a collection at " +
+                  describe_ptr(obj));
+    }
+    const auto kind = static_cast<ObjKind>((hdr >> 1) & 0x7u);
+    if (kind != ObjKind::kRecord && kind != ObjKind::kArray &&
+        kind != ObjKind::kRef && kind != ObjKind::kBytes &&
+        kind != ObjKind::kReal) {
+      return fail("bad object kind at " + describe_ptr(obj));
+    }
+    const std::size_t words = header_field_words(hdr);
+    if (obj + 1 + words > old_cur_ + old_words_) {
+      return fail("object overruns the old generation at " +
+                  describe_ptr(obj));
+    }
+    if (header_is_traced(hdr)) {
+      for (std::size_t i = 0; i < words; i++) {
+        if (!valid_value(obj[1 + i])) {
+          return fail("bad field pointer in object at " + describe_ptr(obj));
+        }
+      }
+    }
+    obj += 1 + words;
+  }
+  if (obj != old_alloc_) {
+    return fail("old generation does not parse to its allocation frontier");
+  }
+
+  // Registered roots must hold valid values.
+  for (GlobalRoot* r = global_roots_; r != nullptr; r = r->next_) {
+    if (!valid_value(r->value_.raw_bits())) {
+      return fail("GlobalRoot holds an invalid value");
+    }
+  }
+  return true;
+}
+
+// ----- global roots -----
+
+void Heap::register_global_root(GlobalRoot* root) {
+  Spin guard(roots_lock_);
+  root->prev_ = nullptr;
+  root->next_ = global_roots_;
+  if (global_roots_ != nullptr) global_roots_->prev_ = root;
+  global_roots_ = root;
+}
+
+void Heap::unregister_global_root(GlobalRoot* root) {
+  Spin guard(roots_lock_);
+  if (root->prev_ != nullptr) {
+    root->prev_->next_ = root->next_;
+  } else {
+    global_roots_ = root->next_;
+  }
+  if (root->next_ != nullptr) root->next_->prev_ = root->prev_;
+  root->prev_ = nullptr;
+  root->next_ = nullptr;
+}
+
+// ----- GlobalRoot -----
+
+GlobalRoot::GlobalRoot(Heap& heap, Value v) : heap_(&heap), value_(v) {
+  heap_->register_global_root(this);
+}
+
+GlobalRoot::~GlobalRoot() {
+  if (heap_ != nullptr) heap_->unregister_global_root(this);
+}
+
+GlobalRoot::GlobalRoot(GlobalRoot&& other) noexcept {
+  steal_links(std::move(other));
+}
+
+GlobalRoot& GlobalRoot::operator=(GlobalRoot&& other) noexcept {
+  if (this == &other) return *this;
+  if (heap_ != nullptr) heap_->unregister_global_root(this);
+  steal_links(std::move(other));
+  return *this;
+}
+
+void GlobalRoot::steal_links(GlobalRoot&& other) noexcept {
+  heap_ = other.heap_;
+  value_ = other.value_;
+  if (heap_ != nullptr) {
+    // Replace `other` with `this` in the registry under the lock.
+    heap_->unregister_global_root(&other);
+    heap_->register_global_root(this);
+    other.heap_ = nullptr;
+  }
+}
+
+}  // namespace mp::gc

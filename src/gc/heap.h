@@ -1,0 +1,162 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "arch/cacheline.h"
+#include "gc/hooks.h"
+#include "gc/roots.h"
+#include "gc/value.h"
+
+namespace mp::gc {
+
+// Sizing of the two-generation heap.  The nursery is the shared "allocation
+// region" of the paper, divided into chunks that procs claim privately so
+// the allocation fast path needs no synchronization; a proc whose share is
+// exhausted "steals" spare chunks other procs have not claimed.  Survivors
+// are copied into the old generation; the old generation itself is collected
+// (copied between two semispaces) when it passes `major_fraction`.
+struct HeapConfig {
+  std::size_t nursery_bytes = 1u << 20;
+  // The nursery is split into nproc * chunks_per_proc chunks; one chunk is a
+  // proc's initial "share" granularity.
+  std::size_t chunks_per_proc = 4;
+  std::size_t old_bytes = 32u << 20;  // per semispace
+  double major_fraction = 0.75;
+};
+
+struct HeapStats {
+  std::uint64_t words_allocated = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t minor_gcs = 0;
+  std::uint64_t major_gcs = 0;
+  std::uint64_t words_copied_minor = 0;
+  std::uint64_t words_copied_major = 0;
+  std::uint64_t chunk_grabs = 0;
+  std::uint64_t chunk_steals = 0;  // grabs beyond a proc's fair share
+  std::uint64_t stores_recorded = 0;
+  std::uint64_t large_allocs = 0;
+};
+
+// The multiprocessor-adapted SML/NJ heap (paper section 5): per-proc bump
+// allocation into a shared nursery, stop-the-world clean-point rendezvous,
+// and a *sequential* two-generation copying collection performed by the
+// requesting proc — deliberately reproducing the paper's main scalability
+// bottleneck.
+//
+// Client discipline: every Value live across a runtime call (allocation,
+// lock, thread operation, explicit safe point) must be held in a Roots frame
+// or GlobalRoot; collections move objects and update only registered roots.
+class Heap {
+ public:
+  Heap(const HeapConfig& config, CollectorHooks& hooks);
+  ~Heap();
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  // --- allocation (must be called on a proc) ---
+  Value alloc_record(std::span<const Value> fields);
+  Value alloc_record(std::initializer_list<Value> fields) {
+    return alloc_record(std::span<const Value>(fields.begin(), fields.size()));
+  }
+  Value alloc_array(std::size_t n, Value init);
+  Value alloc_ref(Value init);
+  Value alloc_bytes(std::string_view data);
+  Value alloc_real(double d);
+
+  // Convenience: cons cell (record of two) and list helpers used by the
+  // workloads.
+  Value cons(Value head, Value tail) { return alloc_record({head, tail}); }
+
+  // --- mutation (write barrier: records the store for the minor GC) ---
+  void store(Value obj, std::size_t index, Value v);
+  void store_ref(Value ref, Value v) { store(ref, 0, v); }
+  static Value load_ref(Value ref) { return ref.field(0); }
+
+  // --- collection ---
+  // Force a collection now (tests / benchmarks); world-stops like any GC.
+  void collect_now(bool force_major = false);
+
+  // Aggregated statistics (per-proc counters summed at call time).
+  HeapStats stats() const;
+  std::size_t old_space_used_words() const;
+  std::size_t nursery_free_chunks() const;
+
+  // --- introspection for tests ---
+  bool in_nursery(Value v) const;
+  bool in_old_space(Value v) const;
+
+  // Heap consistency check (debugging aid): walks every object in the old
+  // generation and every registered root, validating headers, lengths and
+  // pointer targets.  Returns false and fills `error` on the first
+  // inconsistency.  Call with the world quiescent (tests, or right after a
+  // collection).
+  bool verify(std::string* error) const;
+
+ private:
+  friend class GlobalRoot;
+
+  struct alignas(arch::kCacheLine) ProcHeap {
+    std::uint64_t* alloc = nullptr;
+    std::uint64_t* limit = nullptr;
+    std::vector<std::uint64_t*> store_list;
+    std::uint64_t chunks_since_gc = 0;
+    // Per-proc counters (merged by stats()) so the allocation fast path
+    // never touches shared cache lines.
+    std::uint64_t words_allocated = 0;
+    std::uint64_t allocations = 0;
+    std::uint64_t stores_recorded = 0;
+  };
+
+  std::uint64_t* alloc_raw(ObjKind kind, std::size_t field_words,
+                           std::size_t length_for_header,
+                           std::span<Value> rooted_args);
+  bool grab_chunk(ProcHeap& ph);
+  std::uint64_t* alloc_large(std::size_t words);
+  void run_gc_cycle(bool force_major, std::span<Value> rooted_args);
+  void do_collect(bool force_major, std::span<Value> extra_roots);
+  void evacuate_roots(std::span<Value> extra_roots);
+  void forward_slot(std::uint64_t* slot);
+  std::uint64_t* scan_object(std::uint64_t* obj);
+  void register_global_root(GlobalRoot* root);
+  void unregister_global_root(GlobalRoot* root);
+
+  HeapConfig cfg_;
+  CollectorHooks& hooks_;
+  HeapStats stats_;
+
+  // Nursery.
+  std::uint64_t* nursery_ = nullptr;
+  std::size_t nursery_words_ = 0;
+  std::size_t chunk_words_ = 0;
+  std::size_t num_chunks_ = 0;
+  std::vector<std::uint32_t> free_chunks_;  // stack of free chunk indices
+  std::atomic<std::uint32_t> chunk_lock_{0};
+
+  // Old generation semispaces.
+  std::uint64_t* old_a_ = nullptr;
+  std::uint64_t* old_b_ = nullptr;
+  std::size_t old_words_ = 0;
+  std::uint64_t* old_cur_ = nullptr;    // active semispace base
+  std::uint64_t* old_alloc_ = nullptr;  // bump pointer in active semispace
+  std::atomic<std::uint32_t> old_lock_{0};  // large allocations only
+
+  std::vector<ProcHeap> proc_heaps_;
+
+  // Collection coordination.
+  std::atomic<bool> gc_in_progress_{false};
+
+  // During a collection: the range being evacuated.
+  std::uint64_t* from_lo_ = nullptr;
+  std::uint64_t* from_hi_ = nullptr;
+
+  // Global root list.
+  GlobalRoot* global_roots_ = nullptr;
+  std::atomic<std::uint32_t> roots_lock_{0};
+};
+
+}  // namespace mp::gc

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cont/exec.h"
+
+namespace mp::gc {
+
+// What the heap needs from the platform underneath it.  The native backend
+// implements stop_world with a real rendezvous of kernel threads and ignores
+// the charge hooks; the simulator backend parks virtual procs at clean
+// points and converts the charges into virtual time and bus traffic.
+class CollectorHooks {
+ public:
+  virtual ~CollectorHooks() = default;
+
+  // Park every other active proc at a clean point (paper section 5: "the
+  // procs are synchronized at clean points").  Returns when the world is
+  // stopped; the caller becomes the collector.
+  virtual void stop_world() = 0;
+  virtual void resume_world() = 0;
+
+  // Account a completed collection that copied `words_copied` live words.
+  virtual void charge_gc(std::uint64_t words_copied) = 0;
+  // Account an allocation of `words` heap words (inline bump + write miss
+  // traffic, the dominant bus load in SML/NJ programs).
+  virtual void charge_alloc(std::uint64_t words) = 0;
+  // Called by a proc that needs a collection some other proc is already
+  // performing: must reach a clean point (parking there if the world is
+  // stopping) and return once it is safe to retry allocation.
+  virtual void gc_yield() = 0;
+
+  // Identity of the executing proc, and the proc table for root scanning.
+  virtual int cur_proc() = 0;
+  virtual int nproc() = 0;
+  // Execution context of proc `id` (for its current root chain); the world
+  // is stopped when the collector calls this.
+  virtual cont::ExecContext* proc_exec(int id) = 0;
+};
+
+}  // namespace mp::gc

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+
+#include "arch/panic.h"
+#include "cont/exec.h"
+#include "gc/value.h"
+
+namespace mp::gc {
+
+class Heap;
+
+// One frame of a logical thread's root chain.  The chain head lives in the
+// proc's ExecContext and is saved into / restored from continuations, so a
+// suspended thread's roots remain visible to the collector and travel with
+// the thread when it migrates between procs.
+struct RootFrameHdr {
+  RootFrameHdr* prev = nullptr;
+  Value* slots = nullptr;
+  std::size_t count = 0;
+};
+
+// RAII block of GC roots.  Declare one in any scope that holds Values across
+// a potential collection point (any allocation, and any suspension point):
+//
+//   gc::Roots<2> r;            // pushes onto the current thread's chain
+//   r[0] = heap.alloc_ref(v);  // r[0] is traced and updated by the GC
+//
+// Frames nest strictly LIFO within one logical thread.  A callcc body starts
+// with an empty chain (see cont/cont.h); values must cross that boundary via
+// continuation payloads or GlobalRoot cells, never via captured frames.
+template <std::size_t N>
+class Roots {
+ public:
+  Roots() {
+    cont::ExecContext* ex = cont::current_exec();
+    MPNJ_CHECK(ex != nullptr && ex->seg != nullptr,
+               "GC roots declared outside a proc's client context");
+    hdr_.prev = static_cast<RootFrameHdr*>(ex->root_head);
+    hdr_.slots = slots_;
+    hdr_.count = N;
+    ex->root_head = &hdr_;
+  }
+  ~Roots() {
+    // The thread may have migrated to a different proc since construction;
+    // its root chain travelled with it, so pop from the *current* proc.
+    cont::ExecContext* ex = cont::current_exec();
+    MPNJ_CHECK(ex != nullptr && ex->root_head == &hdr_,
+               "GC root frames popped out of order");
+    ex->root_head = hdr_.prev;
+  }
+  Roots(const Roots&) = delete;
+  Roots& operator=(const Roots&) = delete;
+
+  Value& operator[](std::size_t i) {
+    MPNJ_CHECK(i < N, "root slot index out of range");
+    return slots_[i];
+  }
+
+ private:
+  RootFrameHdr hdr_;
+  Value slots_[N] = {};
+};
+
+// A movable, individually registered root for Values stored inside ordinary
+// C++ data structures (channel queues, thread-start records).  Registration
+// is a doubly-linked list owned by the Heap; moving re-links.
+class GlobalRoot {
+ public:
+  GlobalRoot() noexcept = default;  // unregistered, nil
+  GlobalRoot(Heap& heap, Value v);
+  GlobalRoot(GlobalRoot&& other) noexcept;
+  GlobalRoot& operator=(GlobalRoot&& other) noexcept;
+  GlobalRoot(const GlobalRoot&) = delete;
+  GlobalRoot& operator=(const GlobalRoot&) = delete;
+  ~GlobalRoot();
+
+  Value get() const noexcept { return value_; }
+  void set(Value v) noexcept { value_ = v; }
+  bool registered() const noexcept { return heap_ != nullptr; }
+
+ private:
+  friend class Heap;
+  void steal_links(GlobalRoot&& other) noexcept;
+
+  Heap* heap_ = nullptr;
+  Value value_;
+  GlobalRoot* prev_ = nullptr;
+  GlobalRoot* next_ = nullptr;
+};
+
+}  // namespace mp::gc

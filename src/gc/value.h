@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "arch/panic.h"
+#include "cont/cont.h"
+
+namespace mp::gc {
+
+// Heap object kinds.  Records and tuples are immutable (no write barrier
+// needed, matching ML); refs and arrays are mutable and their updates go
+// through Heap::store, which maintains the store list the minor collector
+// scans (SML/NJ's treatment of assignments).
+enum class ObjKind : std::uint8_t {
+  kRecord = 0,  // immutable fields
+  kArray = 1,   // mutable Value elements
+  kRef = 2,     // mutable single cell
+  kBytes = 3,   // raw untraced payload (strings)
+  kReal = 4,    // boxed 64-bit float (SML/NJ boxes reals; length is 8 bytes)
+};
+
+// A tagged ML-style value: either a 63-bit immediate integer (low bit set)
+// or a pointer to a heap object (8-byte aligned, low bits clear).  The
+// default value is nil (a null pointer), distinct from int 0.
+class Value {
+ public:
+  constexpr Value() noexcept : bits_(0) {}
+
+  static constexpr Value nil() noexcept { return Value(); }
+
+  static Value from_int(std::int64_t i) noexcept {
+    Value v;
+    v.bits_ = (static_cast<std::uint64_t>(i) << 1) | 1u;
+    return v;
+  }
+  static Value from_bool(bool b) noexcept { return from_int(b ? 1 : 0); }
+
+  bool is_nil() const noexcept { return bits_ == 0; }
+  bool is_int() const noexcept { return (bits_ & 1u) != 0; }
+  bool is_ptr() const noexcept { return bits_ != 0 && (bits_ & 1u) == 0; }
+
+  std::int64_t as_int() const noexcept {
+    MPNJ_CHECK(is_int(), "Value is not an integer");
+    return static_cast<std::int64_t>(bits_) >> 1;
+  }
+  bool as_bool() const noexcept { return as_int() != 0; }
+
+  // --- heap object accessors (is_ptr() case) ---
+
+  ObjKind kind() const noexcept {
+    return static_cast<ObjKind>((header() >> 1) & 0x7u);
+  }
+  // Number of Value fields (records/arrays) or payload bytes (kBytes).
+  std::size_t length() const noexcept {
+    return static_cast<std::size_t>(header() >> 4);
+  }
+
+  Value field(std::size_t i) const noexcept {
+    MPNJ_CHECK(is_ptr(), "field access on a non-pointer Value");
+    MPNJ_CHECK(i < length(), "Value field index out of range");
+    Value v;
+    v.bits_ = obj()[1 + i];
+    return v;
+  }
+
+  const char* bytes() const noexcept {
+    MPNJ_CHECK(is_ptr() && kind() == ObjKind::kBytes, "not a bytes object");
+    return reinterpret_cast<const char*>(obj() + 1);
+  }
+
+  double as_real() const noexcept {
+    MPNJ_CHECK(is_ptr() && kind() == ObjKind::kReal, "not a boxed real");
+    double d;
+    __builtin_memcpy(&d, obj() + 1, sizeof(d));
+    return d;
+  }
+
+  friend bool operator==(Value a, Value b) noexcept { return a.bits_ == b.bits_; }
+
+  std::uint64_t raw_bits() const noexcept { return bits_; }
+  static Value from_raw_bits(std::uint64_t bits) noexcept {
+    Value v;
+    v.bits_ = bits;
+    return v;
+  }
+
+ private:
+  friend class Heap;
+  friend class HeapTestPeer;
+
+  // Object layout: [header][field 0]...[field n-1].
+  // Header encoding: (length << 4) | (kind << 1) | 0; a header with the low
+  // bit set is a forwarding pointer installed during collection.
+  std::uint64_t* obj() const noexcept {
+    return reinterpret_cast<std::uint64_t*>(bits_);
+  }
+  std::uint64_t header() const noexcept { return obj()[0]; }
+
+  std::uint64_t bits_;
+};
+
+static_assert(sizeof(Value) == 8);
+
+}  // namespace mp::gc
+
+namespace mp::cont {
+// Continuation payload slots holding Values are traced by the collector.
+template <>
+struct is_gc_traced<gc::Value> : std::true_type {};
+}  // namespace mp::cont

@@ -1,0 +1,23 @@
+#pragma once
+
+// Umbrella header: the whole MP stack for clients who want one include.
+//
+//   #include "mp/mp.h"
+//
+//   mp::NativePlatform platform({.max_procs = 4});
+//   mp::threads::Scheduler::run(platform, {}, [&](auto& s) { ... });
+
+#include "cml/cml.h"
+#include "cml/sync_cells.h"
+#include "gc/heap.h"
+#include "gc/roots.h"
+#include "gc/value.h"
+#include "mp/native_platform.h"
+#include "mp/platform.h"
+#include "mp/sim_platform.h"
+#include "mp/uni_platform.h"
+#include "threads/mlthreads.h"
+#include "threads/scheduler.h"
+#include "threads/sync.h"
+#include "threads/trace.h"
+#include "threads/unithread.h"

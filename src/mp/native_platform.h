@@ -1,0 +1,99 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mp/platform.h"
+
+namespace mp {
+
+struct NativePlatformConfig {
+  // Analogue of the paper's compile-time proc limit: the runtime statically
+  // sizes its per-proc structures.  0 = hardware concurrency.
+  int max_procs = 0;
+  gc::HeapConfig heap;
+  double preempt_interval_us = 0;
+  // Spin-then-backoff behaviour of lock(); 0 = naive spin.
+  double lock_backoff_base_us = 0;
+  std::uint64_t seed = 0x5eed;
+};
+
+// MP on real kernel threads (the production backend): procs map onto
+// std::threads sharing the address space — the same shape as the paper's
+// Mach kernel threads / Irix+Dynix shared-address-space processes — and
+// mutex locks are hardware test-and-set words.  Released kernel threads are
+// parked and re-used by later acquire_proc calls, as section 5 describes.
+class NativePlatform final : public Platform {
+ public:
+  explicit NativePlatform(NativePlatformConfig config = {});
+  ~NativePlatform() override;
+
+  // ---- Platform ----
+  int max_procs() const override;
+  int active_procs() const override;
+  MutexLock mutex_lock() override;
+  bool try_lock(const MutexLock& l) override;
+  void lock(const MutexLock& l) override;
+  void unlock(const MutexLock& l) override;
+  void work(double instructions) override;
+  double now_us() override;
+  void safe_point() override;
+  arch::Rng& rng() override;
+  void set_preempt_interval(double us) override;
+
+  // ---- CollectorHooks ----
+  void stop_world() override;
+  void resume_world() override;
+  void charge_gc(std::uint64_t words_copied) override;
+  void charge_alloc(std::uint64_t words) override;
+  void gc_yield() override;
+  int cur_proc() override;
+  int nproc() override;
+  cont::ExecContext* proc_exec(int id) override;
+
+ protected:
+  ProcRec& self() override;
+  void for_each_proc(const std::function<void(ProcRec&)>& fn) override;
+  bool backend_acquire(cont::ContRef k, Datum datum) override;
+  [[noreturn]] void backend_release() override;
+  void backend_run(cont::ContRef root, Datum root_datum) override;
+  void on_done() override;
+
+ private:
+  enum class RunState : std::uint8_t { kIdle, kActive, kParked };
+
+  struct NProc : ProcRec {
+    std::thread thread;            // empty for proc 0 (the run() caller)
+    cont::ContRef mailbox;
+    bool has_work = false;
+    std::atomic<RunState> rstate{RunState::kIdle};
+    arch::Rng prng;
+  };
+
+  void proc_loop(NProc& p);  // idle loop shared by pool threads and proc 0
+  void park_for_gc(NProc& p);
+
+  NativePlatformConfig cfg_;
+  std::vector<std::unique_ptr<NProc>> procs_;
+
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;
+
+  // GC rendezvous.
+  std::atomic<bool> world_stop_{false};
+  std::atomic<int> collector_{-1};
+  std::mutex gc_mutex_;
+  std::condition_variable gc_cv_;
+
+  // Preemption ticker.
+  std::thread ticker_;
+  std::atomic<bool> ticker_stop_{false};
+  std::atomic<double> preempt_interval_us_{0};
+
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace mp

@@ -1,0 +1,195 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+
+#include "arch/rng.h"
+#include "cont/cont.h"
+#include "gc/heap.h"
+#include "gc/hooks.h"
+
+// The MP platform (paper section 3): a processor abstraction (Proc) and a
+// mutex lock abstraction (Lock) which, together with first-class
+// continuations, suffice to build multiprocessor thread packages entirely
+// above the runtime.  Two backends implement the interface:
+//
+//   * NativePlatform (native_platform.h) — procs are kernel threads, locks
+//     are hardware test-and-set words; functional parallelism on a real
+//     multiprocessor.
+//   * SimPlatform (sim_platform.h) — procs are virtual processors of a
+//     deterministic machine simulation (sim/engine.h) with a shared-bus
+//     cost model; this is the substrate the benchmark harness uses to
+//     reproduce the paper's Sequent/SGI measurements.
+//
+// Client code (src/threads, src/cml, workloads) is written once against
+// Platform and runs unchanged on either backend.
+
+namespace mp {
+
+// The client-defined per-proc datum (paper section 3.2).  One machine word,
+// read/written by the dedicated-register analogue get_datum/set_datum.
+// Clients needing richer state store a pointer here.  The datum is not
+// traced by the collector; GC values reachable only through a datum must
+// also be held in a GlobalRoot.
+using Datum = std::uintptr_t;
+
+// Raised by acquire_proc when every proc is in use (Proc.No_More_Procs).
+class NoMoreProcs : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "Proc.No_More_Procs: no processor available";
+  }
+};
+
+namespace detail {
+// Backend-specific lock state; clients only ever see MutexLock handles.
+struct LockCell {
+  virtual ~LockCell() = default;
+};
+}  // namespace detail
+
+// A first-class mutex lock value (paper section 3.3): a one-bit atomically
+// test-and-set location, usable as a spin lock, unlockable by any proc.
+// Copyable and cheap to pass around; the cell is reclaimed when the last
+// handle drops (in SML the cell would simply be garbage collected).
+class MutexLock {
+ public:
+  MutexLock() = default;
+  explicit MutexLock(std::shared_ptr<detail::LockCell> cell)
+      : cell_(std::move(cell)) {}
+  detail::LockCell* cell() const { return cell_.get(); }
+  bool valid() const { return cell_ != nullptr; }
+  friend bool operator==(const MutexLock& a, const MutexLock& b) {
+    return a.cell_ == b.cell_;
+  }
+
+ private:
+  std::shared_ptr<detail::LockCell> cell_;
+};
+
+// Signals (paper section 3.4): handlers are installed globally — all procs
+// share the same handler table and every proc receives each posted signal —
+// while masking is controlled per proc.  kPreempt is posted by the platform
+// timer when preemption is enabled.
+enum class Sig : int { kPreempt = 0, kUsr1 = 1, kUsr2 = 2 };
+inline constexpr int kNumSignals = 3;
+
+// State of one proc, shared between the generic layer and the backends.
+struct ProcRec {
+  int id = -1;
+  Datum datum = 0;
+  cont::ExecContext exec;
+  std::uint32_t sig_mask = 0;               // per-proc signal mask
+  std::atomic<std::uint32_t> sig_pending{0};  // posted, not yet delivered
+  bool active = false;  // currently holding a processor for a client
+};
+
+class Platform : public gc::CollectorHooks {
+ public:
+  ~Platform() override = default;
+
+  // ---- Proc (paper Figure 2) ----
+
+  // Start `k` running in parallel with the caller on a newly acquired proc,
+  // with the given per-proc datum.  Throws NoMoreProcs at the proc limit.
+  void acquire_proc(cont::Cont<cont::Unit> k, Datum datum);
+  // Non-throwing form; returns false at the proc limit.  On failure the
+  // continuation has already had its unit value delivered, so the caller
+  // can still reschedule it onto a ready queue and fire it later.
+  bool try_acquire_proc(cont::Cont<cont::Unit> k, Datum datum);
+  // Convenience: acquire a proc to run `f` from scratch (no capture point
+  // needed).  Used by schedulers to start their per-proc dispatch loops.
+  bool try_acquire_entry(std::function<void()> f, Datum datum) {
+    return backend_acquire(cont::make_entry(std::move(f)), datum);
+  }
+  // Stop executing and return this processor to the operating system.  The
+  // caller saves its state with callcc first if it wants to continue later.
+  [[noreturn]] void release_proc();
+
+  Datum get_datum() { return self().datum; }
+  void set_datum(Datum d) { self().datum = d; }
+
+  // Extensions beyond the paper's signature, needed by schedulers and the
+  // benchmark harness.
+  int proc_id() { return self().id; }
+  virtual int max_procs() const = 0;
+  virtual int active_procs() const = 0;
+
+  // ---- Lock (paper Figure 2) ----
+
+  virtual MutexLock mutex_lock() = 0;                // fresh unlocked lock
+  virtual bool try_lock(const MutexLock& l) = 0;     // atomic test-and-set
+  virtual void lock(const MutexLock& l) = 0;         // spin (maybe backoff)
+  virtual void unlock(const MutexLock& l) = 0;       // any proc may unlock
+
+  // ---- Virtual work and time ----
+
+  // Account `instructions` of client computation.  On the simulator this
+  // advances virtual time (and is a safe point); on native hardware the
+  // computation itself is the cost and this is a plain safe point.
+  virtual void work(double instructions) = 0;
+  virtual double now_us() = 0;
+  // GC poll + signal delivery point.  Runtime operations call this; any
+  // Value not held in a Roots frame is invalid across it.
+  virtual void safe_point() = 0;
+  // Brackets a scheduler's "no work available, polling" loop so the
+  // simulator accounts the time as processor idle time (paper section 6
+  // reports idle rates; native backend ignores the hint).
+  virtual void begin_idle_poll() {}
+  virtual void end_idle_poll() {}
+  // Deterministic per-proc random stream (scheduling decisions, workloads).
+  virtual arch::Rng& rng() = 0;
+
+  // ---- Signals (paper section 3.4) ----
+
+  void set_signal_handler(Sig s, std::function<void()> handler);
+  void mask_signal(Sig s);
+  void unmask_signal(Sig s);
+  bool signal_masked(Sig s);
+  // Deliver `s` to every proc at its next safe point.
+  void post_signal(Sig s);
+  // Enable preemption: kPreempt is posted to each proc every `us` of its
+  // execution (0 disables).  The thread package installs a yield handler.
+  virtual void set_preempt_interval(double us) = 0;
+
+  // ---- Heap ----
+  gc::Heap& heap() { return *heap_; }
+  const gc::Heap& heap() const { return *heap_; }
+
+  // ---- Running ----
+
+  // Execute `root` as the root proc's computation; returns when it has
+  // completed and every proc has been released.
+  void run(std::function<void()> root, Datum root_datum = 0);
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+ protected:
+  Platform() = default;
+  void init_heap(const gc::HeapConfig& config) {
+    heap_ = std::make_unique<gc::Heap>(config, *this);
+  }
+
+  virtual ProcRec& self() = 0;
+  virtual void for_each_proc(const std::function<void(ProcRec&)>& fn) = 0;
+  virtual bool backend_acquire(cont::ContRef k, Datum datum) = 0;
+  [[noreturn]] virtual void backend_release() = 0;
+  virtual void backend_run(cont::ContRef root, Datum root_datum) = 0;
+  virtual void on_done() {}
+
+  // Run any pending unmasked handlers for the current proc.  Called by the
+  // backends at safe points.
+  void deliver_pending_signals(ProcRec& p);
+  void post_signal_to(ProcRec& p, Sig s);
+
+  std::atomic<bool> done_{false};
+
+ private:
+  std::function<void()> handlers_[kNumSignals];
+  std::atomic<std::uint32_t> handler_lock_{0};
+  std::unique_ptr<gc::Heap> heap_;
+};
+
+}  // namespace mp

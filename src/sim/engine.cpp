@@ -1,0 +1,269 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "arch/panic.h"
+
+namespace mp::sim {
+
+namespace {
+
+struct FiberBoot {
+  Engine* engine;
+  int id;
+  std::function<void(int)>* main;
+};
+
+}  // namespace
+
+Engine::Engine(const MachineModel& model, ProcMain proc_main)
+    : model_(model), proc_main_(std::move(proc_main)) {
+  MPNJ_CHECK(model_.num_procs >= 1, "machine must have at least one proc");
+  procs_.reserve(static_cast<std::size_t>(model_.num_procs));
+  for (int i = 0; i < model_.num_procs; i++) {
+    auto p = std::make_unique<VProc>();
+    p->id = i;
+    p->rng.reseed(model_.seed ^ (0x9e3779b97f4a7c15ull * (std::uint64_t)(i + 1)));
+    procs_.push_back(std::move(p));
+  }
+}
+
+Engine::~Engine() {
+  // Fibers are parked inside proc_main loops; their stacks are reclaimed by
+  // dropping the segments.  Any client continuations they reference were
+  // released by the platform before the engine is destroyed.
+  for (auto& p : procs_) {
+    if (p->fiber_seg != nullptr) p->fiber_seg->drop_ref();
+  }
+}
+
+Engine::VProc& Engine::cur_proc() {
+  MPNJ_CHECK(cur_ >= 0, "engine operation outside a running proc");
+  return *procs_[static_cast<std::size_t>(cur_)];
+}
+
+double Engine::now() const {
+  MPNJ_CHECK(cur_ >= 0, "now() outside a running proc");
+  return procs_[static_cast<std::size_t>(cur_)]->clock;
+}
+
+double Engine::clock_of(int id) const {
+  return procs_[static_cast<std::size_t>(id)]->clock;
+}
+
+double Engine::total_us() const {
+  double t = 0;
+  for (const auto& p : procs_) t = std::max(t, p->clock);
+  return t;
+}
+
+void Engine::arm_hook(int id, double at_us) {
+  procs_[static_cast<std::size_t>(id)]->hook_at = at_us;
+}
+
+void Engine::fiber_entry(void* arg) {
+  auto* boot = static_cast<FiberBoot*>(arg);
+  const int id = boot->id;
+  auto* main = boot->main;
+  delete boot;
+  (*main)(id);
+  arch::panic("sim proc main returned");
+}
+
+void Engine::resume(int id) {
+  VProc& p = *procs_[static_cast<std::size_t>(id)];
+  if (p.state == PState::kUnstarted || p.fiber_seg == nullptr) {
+    p.fiber_seg = cont::SegmentPool::instance().acquire();
+    auto* boot = new FiberBoot{this, id, &proc_main_};
+    arch::ctx_make(p.resume_ctx, p.fiber_seg->stack_base(),
+                   p.fiber_seg->stack_size(), &fiber_entry, boot);
+  }
+  p.state = PState::kRunning;
+  p.stats.switches++;
+  cur_ = id;
+  if (resume_hook_) resume_hook_(id);
+  arch::ctx_swap(engine_ctx_, p.resume_ctx);
+  cur_ = -1;
+}
+
+int Engine::pick_next() const {
+  int best = -1;
+  double best_clock = 0;
+  for (const auto& p : procs_) {
+    bool eligible = false;
+    if (stop_requested_) {
+      // While a stop-the-world is pending, only non-collector runnable procs
+      // execute (driving them to their next clean point); the collector
+      // resumes once everyone else is parked or idle.
+      eligible = p->state == PState::kRunnable && p->id != collector_;
+      if (!eligible && p->id == collector_ && p->state == PState::kWaitWorld) {
+        bool all_stopped = true;
+        for (const auto& q : procs_) {
+          if (q->id == collector_) continue;
+          if (q->state == PState::kRunnable || q->state == PState::kRunning) {
+            all_stopped = false;
+            break;
+          }
+        }
+        eligible = all_stopped;
+      }
+    } else {
+      eligible = p->state == PState::kRunnable;
+    }
+    if (eligible && (best < 0 || p->clock < best_clock)) {
+      best = p->id;
+      best_clock = p->clock;
+    }
+  }
+  return best;
+}
+
+void Engine::run() {
+  MPNJ_CHECK(!running_, "engine re-entered");
+  running_ = true;
+  for (;;) {
+    int next = pick_next();
+    if (next < 0) break;
+    resume(next);
+  }
+  MPNJ_CHECK(!stop_requested_,
+             "simulation quiesced during a stop-the-world collection");
+  running_ = false;
+}
+
+void Engine::switch_to_engine() {
+  VProc& p = cur_proc();
+  arch::ctx_swap(p.resume_ctx, engine_ctx_);
+}
+
+void Engine::maybe_yield() {
+  VProc& p = cur_proc();
+  // Deliver an armed timer (preemption signal) first: the hook may run
+  // client code (a handler calling yield) on this proc's stack.
+  if (p.clock >= p.hook_at && timer_hook_) {
+    p.hook_at = std::numeric_limits<double>::infinity();
+    timer_hook_(p.id);
+  }
+  if (stop_requested_ && p.id != collector_) {
+    // Clean point: park for the collection.
+    p.state = PState::kParked;
+    switch_to_engine();
+    return;
+  }
+  // Yield if some other runnable proc is further in the past than our
+  // granularity allowance; the engine will run it first.
+  for (const auto& q : procs_) {
+    if (q->id != p.id && q->state == PState::kRunnable &&
+        q->clock + model_.granularity_us < p.clock) {
+      p.state = PState::kRunnable;
+      switch_to_engine();
+      return;
+    }
+  }
+}
+
+void Engine::charge_us(double us) {
+  VProc& p = cur_proc();
+  p.clock += us;
+  p.stats.busy_us += us;
+  maybe_yield();
+}
+
+void Engine::charge_instr(double instr) { charge_us(model_.instr_to_us(instr)); }
+
+void Engine::safe_point() {
+  cur_proc();
+  maybe_yield();
+}
+
+void Engine::bus_transfer(double bytes) {
+  if (bytes <= 0) return;
+  VProc& p = cur_proc();
+  const double start = std::max(p.clock, bus_free_at_);
+  const double wait = start - p.clock;
+  const double dur = bytes / model_.bus_bytes_per_us;
+  bus_free_at_ = start + dur;
+  bus_.bytes += static_cast<std::uint64_t>(bytes);
+  bus_.busy_us += dur;
+  bus_.wait_us += wait;
+  p.stats.bus_wait_us += wait;
+  p.stats.bus_bytes += static_cast<std::uint64_t>(bytes);
+  // The proc stalls for the queueing delay plus the transfer itself; stalls
+  // count as busy time (they lengthen the proc's execution, which is exactly
+  // the paper's main-memory-contention effect).
+  p.clock = start + dur;
+  p.stats.busy_us += wait + dur;
+  maybe_yield();
+}
+
+void Engine::note_spin(double us, std::uint64_t iters) {
+  VProc& p = cur_proc();
+  p.stats.spin_us += us;
+  p.stats.lock_spin_iters += iters;
+}
+
+void Engine::wake(int id, double not_before) {
+  VProc& p = *procs_[static_cast<std::size_t>(id)];
+  MPNJ_CHECK(p.state == PState::kIdle || p.state == PState::kUnstarted,
+             "wake of a non-idle sim proc");
+  if (p.state == PState::kIdle) {
+    const double wake_at = std::max(p.clock, not_before);
+    p.stats.idle_us += wake_at - p.idle_from;
+    p.clock = wake_at;
+  } else {
+    // An unstarted proc has been idle since the beginning of time.
+    p.stats.idle_us += not_before;
+    p.clock = not_before;
+  }
+  p.state = PState::kRunnable;
+}
+
+void Engine::idle_wait() {
+  VProc& p = cur_proc();
+  p.state = PState::kIdle;
+  p.idle_from = p.clock;
+  switch_to_engine();
+  MPNJ_CHECK(p.state == PState::kRunning, "idle proc resumed in a bad state");
+}
+
+bool Engine::is_idle(int id) const {
+  const auto s = procs_[static_cast<std::size_t>(id)]->state;
+  return s == PState::kIdle || s == PState::kUnstarted;
+}
+
+int Engine::num_idle() const {
+  int n = 0;
+  for (const auto& p : procs_) {
+    if (p->state == PState::kIdle || p->state == PState::kUnstarted) n++;
+  }
+  return n;
+}
+
+void Engine::stop_world() {
+  VProc& p = cur_proc();
+  MPNJ_CHECK(!stop_requested_, "nested stop-the-world");
+  stop_requested_ = true;
+  collector_ = p.id;
+  p.state = PState::kWaitWorld;
+  switch_to_engine();
+  // Resumed: every other started proc is parked or idle.
+  p.state = PState::kRunning;
+}
+
+void Engine::resume_world() {
+  VProc& collector = cur_proc();
+  MPNJ_CHECK(stop_requested_ && collector_ == collector.id,
+             "resume_world by a proc that did not stop it");
+  for (auto& q : procs_) {
+    if (q->state == PState::kParked) {
+      const double resume_at = std::max(q->clock, collector.clock);
+      q->stats.gc_wait_us += resume_at - q->clock;
+      q->clock = resume_at;
+      q->state = PState::kRunnable;
+    }
+  }
+  stop_requested_ = false;
+  collector_ = -1;
+}
+
+}  // namespace mp::sim

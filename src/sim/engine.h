@@ -1,0 +1,146 @@
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "arch/ctx.h"
+#include "arch/rng.h"
+#include "cont/segment.h"
+#include "sim/machine.h"
+
+namespace mp::sim {
+
+// Per-proc accounting, used by the benchmark harness to reproduce the
+// paper's idle-rate, lock-contention and bus-traffic observations.
+struct ProcStats {
+  double busy_us = 0;      // executing (includes bus stalls and spinning)
+  double spin_us = 0;      // subset of busy: spinning on mutex locks
+  double idle_us = 0;      // parked with no work
+  double gc_wait_us = 0;   // parked at a clean point waiting for the collector
+  double bus_wait_us = 0;  // subset of busy: waiting for the shared bus
+  double gc_us = 0;        // performing collections (collector proc)
+  std::uint64_t bus_bytes = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t lock_spin_iters = 0;
+  std::uint64_t switches = 0;  // times this proc was scheduled
+};
+
+struct BusStats {
+  double busy_us = 0;
+  double wait_us = 0;
+  std::uint64_t bytes = 0;
+};
+
+// Deterministic virtual-time simulator of a small shared-memory
+// multiprocessor.  Each virtual proc runs as a fiber on the host thread and
+// owns a virtual clock; the engine always resumes the runnable proc with the
+// smallest clock (ties broken by proc id), so any interleaving-visible event
+// order is a pure function of the machine model, the seed, and the client
+// program.  Memory traffic is serialized through a single shared bus.
+//
+// The engine knows nothing about the MP platform; the platform supplies the
+// per-proc main loop and hooks.  Everything here is proc-side unless noted.
+class Engine {
+ public:
+  // `proc_main(id)` runs inside proc `id`'s fiber; it must loop forever
+  // (idle_wait / work / idle_wait ...) and never return.
+  using ProcMain = std::function<void(int)>;
+  using Hook = std::function<void(int)>;
+
+  Engine(const MachineModel& model, ProcMain proc_main);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Called with the proc id every time a proc fiber is (re)scheduled; the
+  // platform points the continuation layer's current-exec at this proc.
+  void set_resume_hook(Hook h) { resume_hook_ = std::move(h); }
+  // Called from charge() when the proc's clock passes the deadline armed by
+  // arm_hook(); used for preemption-signal delivery at safe points.
+  void set_timer_hook(Hook h) { timer_hook_ = std::move(h); }
+  void arm_hook(int id, double at_us);
+
+  // ---- host side ----
+  // Runs the simulation until no proc is runnable.  Quiescence with work
+  // still logically outstanding is the client's deadlock to diagnose.
+  void run();
+  double total_us() const;
+  const MachineModel& model() const { return model_; }
+  ProcStats& stats(int id) { return procs_[static_cast<std::size_t>(id)]->stats; }
+  const BusStats& bus_stats() const { return bus_; }
+
+  // ---- proc side ----
+  int current() const { return cur_; }
+  double now() const;        // current proc's clock (us)
+  double clock_of(int id) const;
+  void charge_instr(double instr);
+  void charge_us(double us);
+  void bus_transfer(double bytes);      // advances clock by queueing + transfer
+  void note_spin(double us, std::uint64_t iters);
+  void safe_point();                    // runs all checks without adding time
+
+  // Wake an idle (or not-yet-started) proc so it becomes runnable no earlier
+  // than `not_before`.  May be called from a proc or from the host.
+  void wake(int id, double not_before);
+  // Park the current proc until woken.
+  void idle_wait();
+  bool is_idle(int id) const;
+  int num_idle() const;
+
+  // ---- stop-the-world rendezvous (GC clean points, paper section 5) ----
+  // Called by the collecting proc: returns once every other started proc is
+  // parked at a safe point (or idle).
+  void stop_world();
+  // Wakes the parked procs at the collector's (later) clock, charging the
+  // difference to their gc_wait time.
+  void resume_world();
+
+  arch::Rng& rng(int id) { return procs_[static_cast<std::size_t>(id)]->rng; }
+
+ private:
+  enum class PState : std::uint8_t {
+    kUnstarted,  // fiber not yet created
+    kRunnable,
+    kRunning,
+    kIdle,     // waiting for wake()
+    kParked,   // stopped at a clean point during a collection
+    kWaitWorld  // collector waiting for the world to stop
+  };
+
+  struct VProc {
+    int id = 0;
+    PState state = PState::kUnstarted;
+    double clock = 0;
+    double idle_from = 0;
+    double hook_at = std::numeric_limits<double>::infinity();
+    arch::Context resume_ctx;
+    cont::StackSegment* fiber_seg = nullptr;
+    ProcStats stats;
+    arch::Rng rng;
+  };
+
+  static void fiber_entry(void* arg);
+  VProc& cur_proc();
+  void switch_to_engine();         // save current proc, resume scheduler
+  void maybe_yield();              // yield if another runnable proc is behind
+  int pick_next() const;           // min-clock runnable proc, or -1
+  void resume(int id);
+
+  MachineModel model_;
+  ProcMain proc_main_;
+  Hook resume_hook_;
+  Hook timer_hook_;
+  std::vector<std::unique_ptr<VProc>> procs_;
+  arch::Context engine_ctx_;
+  int cur_ = -1;
+  bool stop_requested_ = false;
+  int collector_ = -1;
+  BusStats bus_;
+  double bus_free_at_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace mp::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mp::sim {
+
+// Cost model of a simulated shared-memory multiprocessor.
+//
+// Virtual time is measured in microseconds (double).  Compute work is
+// expressed in "instructions" and converted via `mips` (instructions per
+// microsecond); memory traffic in bytes is serialized through a single
+// shared bus of `bus_bytes_per_us` bandwidth.  The preset models are
+// calibrated from the numbers the paper reports for its three ports
+// (section 5 and 6): the Sequent Symmetry S81 used for Figure 6, the SGI
+// 4D/380S whose faster processors saturate a barely-larger bus, and the
+// Omron Luna88k.
+struct MachineModel {
+  std::string name;
+  int num_procs = 1;
+
+  // --- processor ---
+  double mips = 4.0;  // effective instructions per microsecond per proc
+
+  // --- shared memory bus ---
+  double bus_bytes_per_us = 25.0;  // achievable bandwidth (25 MB/s == 25 B/us)
+
+  // --- mutex locks (paper section 5: assembly subroutines around a
+  //     test-and-set; SGI uses a separate hardware lock bus) ---
+  double lock_op_instr = 85.0;   // per try_lock / unlock call
+  double tas_bus_bytes = 4.0;    // bus transaction per test-and-set
+  bool hardware_lock_bus = false;  // SGI: lock traffic bypasses main bus
+  double spin_retry_instr = 12.0;  // cost of one failed spin iteration
+
+  // --- continuations / scheduling ---
+  double callcc_instr = 40.0;      // capture cost (closure allocation)
+  double throw_instr = 30.0;       // resume cost
+  double proc_acquire_us = 400.0;  // OS call: obtain a kernel thread
+  double proc_release_us = 150.0;  // OS call: release the processor
+
+  // --- allocation & GC (two-generation copying collector, section 5) ---
+  double alloc_instr_per_word = 2.0;    // inline bump allocation
+  double alloc_bus_bytes_per_word = 4.0;  // write miss on nearly every word
+  // Per-processor cache.  SML/NJ's large allocation regions guarantee "a
+  // cache-miss on almost every allocation" (section 7); when the nursery
+  // fits in the cache, allocation writes mostly hit and only the dirty
+  // write-back fraction reaches the bus — the "very small young
+  // generations that can fit in the cache" future-work strategy.
+  double cache_bytes = 64.0 * 1024;
+  double cached_alloc_bus_factor = 0.2;
+  double gc_instr_per_word = 20.0;      // sequential copy cost per live word
+  double gc_bus_bytes_per_word = 8.0;   // read from-space + write to-space
+  double gc_sync_us = 120.0;            // clean-point rendezvous overhead
+
+  // --- scheduling of the simulation itself ---
+  double granularity_us = 0.0;  // extra slack before forcing a proc switch
+  std::uint64_t seed = 0x5eed;
+
+  double instr_to_us(double instructions) const { return instructions / mips; }
+};
+
+// 16-processor Sequent Symmetry S81: 16 MHz Intel 80386 (a few effective
+// MIPS), ~25 MB/s achievable bus bandwidth, lock+unlock pair ~46 us.
+MachineModel sequent_s81(int procs = 16);
+
+// SGI 4D/380S: much faster MIPS R3000 processors, only ~30 MB/s of bus, a
+// separate hardware lock bus, lock+unlock pair ~6 us.
+MachineModel sgi_4d380(int procs = 8);
+
+// Omron Luna88k (Mach kernel threads, atomic exchange on any word).
+MachineModel luna88k(int procs = 4);
+
+// Trivial uniprocessor implementation (paper: "works on all processors that
+// run SML/NJ").
+MachineModel uniprocessor();
+
+}  // namespace mp::sim

@@ -1,0 +1,178 @@
+#include <algorithm>
+
+#include "threads/queue.h"
+
+namespace mp::threads {
+
+void CentralFifoQueue::enq(Platform& p, ThreadState t) {
+  p.lock(lock_);
+  q_.push_back(std::move(t));
+  p.unlock(lock_);
+}
+
+std::optional<ThreadState> CentralFifoQueue::deq(Platform& p) {
+  p.lock(lock_);
+  if (q_.empty()) {
+    p.unlock(lock_);
+    return std::nullopt;
+  }
+  ThreadState t = std::move(q_.front());
+  q_.pop_front();
+  p.unlock(lock_);
+  return t;
+}
+
+void CentralLifoQueue::enq(Platform& p, ThreadState t) {
+  p.lock(lock_);
+  q_.push_back(std::move(t));
+  p.unlock(lock_);
+}
+
+std::optional<ThreadState> CentralLifoQueue::deq(Platform& p) {
+  p.lock(lock_);
+  if (q_.empty()) {
+    p.unlock(lock_);
+    return std::nullopt;
+  }
+  ThreadState t = std::move(q_.back());
+  q_.pop_back();
+  p.unlock(lock_);
+  return t;
+}
+
+void RandomQueue::enq(Platform& p, ThreadState t) {
+  p.lock(lock_);
+  q_.push_back(std::move(t));
+  p.unlock(lock_);
+}
+
+std::optional<ThreadState> RandomQueue::deq(Platform& p) {
+  p.lock(lock_);
+  if (q_.empty()) {
+    p.unlock(lock_);
+    return std::nullopt;
+  }
+  const std::size_t i = p.rng().below(q_.size());
+  std::swap(q_[i], q_.back());
+  ThreadState t = std::move(q_.back());
+  q_.pop_back();
+  p.unlock(lock_);
+  return t;
+}
+
+namespace {
+
+bool entry_less(const int pa, const std::uint64_t sa, const int pb,
+                const std::uint64_t sb) {
+  // Max-heap ordering: lower priority (or later sequence) sorts "less".
+  if (pa != pb) return pa < pb;
+  return sa > sb;
+}
+
+}  // namespace
+
+void PriorityQueue::set_priority(Platform& p, int thread_id, int priority) {
+  p.lock(lock_);
+  for (auto& [tid, prio] : priorities_) {
+    if (tid == thread_id) {
+      prio = priority;
+      p.unlock(lock_);
+      return;
+    }
+  }
+  priorities_.emplace_back(thread_id, priority);
+  p.unlock(lock_);
+}
+
+void PriorityQueue::enq(Platform& p, ThreadState t) {
+  p.lock(lock_);
+  int prio = 0;
+  for (const auto& [tid, pr] : priorities_) {
+    if (tid == t.id) {
+      prio = pr;
+      break;
+    }
+  }
+  heap_.push_back(Entry{prio, next_seq_++, std::move(t)});
+  std::push_heap(heap_.begin(), heap_.end(), [](const Entry& a, const Entry& b) {
+    return entry_less(a.priority, a.seq, b.priority, b.seq);
+  });
+  p.unlock(lock_);
+}
+
+std::optional<ThreadState> PriorityQueue::deq(Platform& p) {
+  p.lock(lock_);
+  if (heap_.empty()) {
+    p.unlock(lock_);
+    return std::nullopt;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), [](const Entry& a, const Entry& b) {
+    return entry_less(a.priority, a.seq, b.priority, b.seq);
+  });
+  ThreadState t = std::move(heap_.back().t);
+  heap_.pop_back();
+  p.unlock(lock_);
+  return t;
+}
+
+void DistributedQueue::init(Platform& p) {
+  per_proc_.clear();
+  for (int i = 0; i < p.max_procs(); i++) {
+    auto pp = std::make_unique<PerProc>();
+    pp->lock = p.mutex_lock();
+    per_proc_.push_back(std::move(pp));
+  }
+}
+
+void DistributedQueue::enq(Platform& p, ThreadState t) {
+  PerProc& mine = *per_proc_[static_cast<std::size_t>(p.proc_id())];
+  p.lock(mine.lock);
+  mine.q.push_back(std::move(t));
+  mine.approx_size.store(static_cast<int>(mine.q.size()),
+                         std::memory_order_release);
+  p.unlock(mine.lock);
+}
+
+std::optional<ThreadState> DistributedQueue::deq(Platform& p) {
+  const auto n = per_proc_.size();
+  const auto me = static_cast<std::size_t>(p.proc_id());
+  // Own queue first (FIFO within a proc)...
+  {
+    PerProc& mine = *per_proc_[me];
+    if (mine.approx_size.load(std::memory_order_acquire) > 0) {
+      p.lock(mine.lock);
+      if (!mine.q.empty()) {
+        ThreadState t = std::move(mine.q.front());
+        mine.q.pop_front();
+        mine.approx_size.store(static_cast<int>(mine.q.size()),
+                               std::memory_order_release);
+        p.unlock(mine.lock);
+        return t;
+      }
+      p.unlock(mine.lock);
+    }
+  }
+  // ...then steal from the tail of a victim, starting at a random proc.
+  // The unlocked size peek costs one shared-memory read, not a lock pair.
+  const std::size_t start = p.rng().below(n);
+  for (std::size_t step = 0; step < n; step++) {
+    const std::size_t v = (start + step) % n;
+    if (v == me) continue;
+    PerProc& victim = *per_proc_[v];
+    p.work(2);
+    if (victim.approx_size.load(std::memory_order_acquire) == 0) continue;
+    p.lock(victim.lock);
+    if (!victim.q.empty()) {
+      ThreadState t = std::move(victim.q.back());
+      victim.q.pop_back();
+      victim.approx_size.store(static_cast<int>(victim.q.size()),
+                               std::memory_order_release);
+      p.unlock(victim.lock);
+      return t;
+    }
+    p.unlock(victim.lock);
+  }
+  return std::nullopt;
+}
+
+}  // namespace mp::threads

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cont/cont.h"
+#include "mp/platform.h"
+
+namespace mp::threads {
+
+// A suspended thread on a ready queue: a continuation that already carries
+// its resume value, plus the thread's integer id (restored into the proc
+// datum by dispatch, as in the paper's Figure 3).
+struct ThreadState {
+  cont::ContRef k;
+  int id = 0;
+};
+
+// The QUEUE signature (paper Figure 1): the thread module is parameterized
+// by the queuing discipline, so scheduling policy is changed "simply by
+// varying the functor's argument".  Implementations do their own locking
+// through the platform's mutex locks — which is also what makes run-queue
+// lock contention measurable in the simulator.
+class ReadyQueue {
+ public:
+  virtual ~ReadyQueue() = default;
+  // Called once, on the root proc, before any enq/deq.
+  virtual void init(Platform& p) = 0;
+  virtual void enq(Platform& p, ThreadState t) = 0;
+  // Returns a thread if one is available right now (no blocking).
+  virtual std::optional<ThreadState> deq(Platform& p) = 0;
+  virtual const char* name() const = 0;
+};
+
+// Central FIFO queue under one lock — the paper's Figure 3 configuration.
+class CentralFifoQueue final : public ReadyQueue {
+ public:
+  void init(Platform& p) override { lock_ = p.mutex_lock(); }
+  void enq(Platform& p, ThreadState t) override;
+  std::optional<ThreadState> deq(Platform& p) override;
+  const char* name() const override { return "central-fifo"; }
+
+ private:
+  MutexLock lock_;
+  std::deque<ThreadState> q_;
+};
+
+// Central LIFO (stack) discipline: favours cache-warm recent work.
+class CentralLifoQueue final : public ReadyQueue {
+ public:
+  void init(Platform& p) override { lock_ = p.mutex_lock(); }
+  void enq(Platform& p, ThreadState t) override;
+  std::optional<ThreadState> deq(Platform& p) override;
+  const char* name() const override { return "central-lifo"; }
+
+ private:
+  MutexLock lock_;
+  std::deque<ThreadState> q_;
+};
+
+// Randomized discipline (the paper notes FIFO and randomized queues both
+// match the QUEUE signature): dequeues a uniformly random waiting thread.
+class RandomQueue final : public ReadyQueue {
+ public:
+  void init(Platform& p) override { lock_ = p.mutex_lock(); }
+  void enq(Platform& p, ThreadState t) override;
+  std::optional<ThreadState> deq(Platform& p) override;
+  const char* name() const override { return "central-random"; }
+
+ private:
+  MutexLock lock_;
+  std::vector<ThreadState> q_;
+};
+
+// Priority discipline (the paper's footnote 1: "priority queues would need
+// a priority to be passed to the enqueue operation" — here priorities are
+// registered per thread id instead of changing the enq signature).  Higher
+// priority dequeues first; FIFO within a priority level.
+class PriorityQueue final : public ReadyQueue {
+ public:
+  void init(Platform& p) override { lock_ = p.mutex_lock(); }
+  void enq(Platform& p, ThreadState t) override;
+  std::optional<ThreadState> deq(Platform& p) override;
+  const char* name() const override { return "central-priority"; }
+
+  // Set the priority used for future enqueues of thread `thread_id`
+  // (default 0).
+  void set_priority(Platform& p, int thread_id, int priority);
+
+ private:
+  struct Entry {
+    int priority;
+    std::uint64_t seq;
+    ThreadState t;
+  };
+  MutexLock lock_;
+  std::vector<Entry> heap_;  // max-heap by (priority, -seq)
+  std::uint64_t next_seq_ = 0;
+  std::vector<std::pair<int, int>> priorities_;  // (thread id, priority)
+};
+
+// Distributed run queue: one deque + lock per proc; enqueue goes to the
+// enqueuing proc's own queue, dequeue tries the own queue first and then
+// steals from victims in random order.  This is the configuration the
+// paper's evaluation uses ("with the addition of a distributed run queue").
+class DistributedQueue final : public ReadyQueue {
+ public:
+  void init(Platform& p) override;
+  void enq(Platform& p, ThreadState t) override;
+  std::optional<ThreadState> deq(Platform& p) override;
+  const char* name() const override { return "distributed"; }
+
+ private:
+  struct PerProc {
+    MutexLock lock;
+    std::deque<ThreadState> q;
+    // Approximate size readable without the lock: stealing procs peek at it
+    // (one shared-memory read) before paying for a lock acquisition, so
+    // idle polling does not hammer every victim's lock.
+    std::atomic<int> approx_size{0};
+  };
+  std::vector<std::unique_ptr<PerProc>> per_proc_;
+};
+
+}  // namespace mp::threads

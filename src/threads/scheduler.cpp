@@ -1,0 +1,239 @@
+#include "threads/scheduler.h"
+
+#include <algorithm>
+
+#include "arch/panic.h"
+
+namespace mp::threads {
+
+using cont::callcc;
+using cont::Cont;
+using cont::Unit;
+
+Scheduler::Scheduler(Platform& platform, SchedulerConfig config)
+    : plat_(platform), cfg_(std::move(config)) {
+  queue_ = cfg_.queue ? std::move(cfg_.queue)
+                      : std::make_unique<DistributedQueue>();
+  queue_->init(plat_);
+  next_id_lock_ = plat_.mutex_lock();
+  timer_lock_ = plat_.mutex_lock();
+  if (cfg_.preempt_interval_us > 0) {
+    plat_.set_signal_handler(Sig::kPreempt, [this] { on_preempt(); });
+    plat_.set_preempt_interval(cfg_.preempt_interval_us);
+  }
+  if (cfg_.hold_procs) {
+    // "To obtain good performance ... a client can call acquire_proc
+    // repeatedly when it starts up, acquiring as many procs as possible,
+    // and hold on to them for the duration" (section 3.1).
+    while (plat_.try_acquire_entry([this] { worker_loop(); }, 0)) {
+    }
+  }
+}
+
+Scheduler::~Scheduler() = default;
+
+void Scheduler::worker_loop() {
+  // Dispatch loops run with preemption masked; the mask is dropped just
+  // before control enters a user thread.
+  plat_.mask_signal(Sig::kPreempt);
+  dispatch();
+}
+
+void Scheduler::dispatch() {
+  for (;;) {
+    plat_.work(cfg_.costs.dispatch_instr);
+    if (plat_.now_us() >= next_deadline_.load(std::memory_order_acquire)) {
+      run_expired_timers();
+    }
+    if (auto t = queue_->deq(plat_)) {
+      plat_.end_idle_poll();
+      plat_.set_datum(static_cast<Datum>(t->id));
+      if (cfg_.tracer) {
+        cfg_.tracer->record(plat_, TraceKind::kDispatch, t->id);
+      }
+      plat_.unmask_signal(Sig::kPreempt);
+      cont::fire_preloaded(std::move(t->k));
+    }
+    if (shutdown_.load(std::memory_order_acquire) || !cfg_.hold_procs) {
+      // Figure 3 releases the proc whenever the queue is empty; the
+      // held-procs configuration only releases at shutdown.
+      plat_.end_idle_poll();
+      plat_.unmask_signal(Sig::kPreempt);
+      plat_.release_proc();
+    }
+    plat_.begin_idle_poll();
+    plat_.work(cfg_.costs.poll_instr);
+  }
+}
+
+void Scheduler::fork(std::function<void()> child) {
+  plat_.work(cfg_.costs.fork_instr);
+  plat_.mask_signal(Sig::kPreempt);
+  live_.fetch_add(1, std::memory_order_acq_rel);
+  callcc<Unit>(
+      [this, child = std::move(child)](Cont<Unit> parent) mutable -> Unit {
+        const int parent_id = static_cast<int>(plat_.get_datum());
+        // Move the parent to a freshly acquired proc if one is available;
+        // otherwise block it on the ready queue (Figure 3).
+        if (!plat_.try_acquire_proc(parent,
+                                    static_cast<Datum>(parent_id))) {
+          reschedule(ThreadState{std::move(parent).take_ref(), parent_id});
+        }
+        // This proc becomes the child thread.
+        plat_.lock(next_id_lock_);
+        const int my_id = next_id_++;
+        plat_.unlock(next_id_lock_);
+        plat_.set_datum(static_cast<Datum>(my_id));
+        if (cfg_.tracer) {
+          cfg_.tracer->record(plat_, TraceKind::kFork, parent_id, my_id);
+        }
+        plat_.unmask_signal(Sig::kPreempt);
+        try {
+          child();
+        } catch (const cont::ThreadCancelled&) {
+          // Cancelled at a suspension point: the thread's frames have been
+          // unwound; retire it like a normal exit.
+        }
+        exit_thread();
+      });
+  // The parent resumes here, possibly on a different proc.
+}
+
+void Scheduler::yield() {
+  plat_.work(cfg_.costs.yield_instr);
+  plat_.mask_signal(Sig::kPreempt);
+  if (cfg_.tracer) {
+    cfg_.tracer->record(plat_, TraceKind::kYield,
+                        static_cast<int>(plat_.get_datum()));
+  }
+  callcc<Unit>([this](Cont<Unit> k) -> Unit {
+    const int my_id = static_cast<int>(plat_.get_datum());
+    k.preload(Unit{});
+    reschedule(ThreadState{std::move(k).take_ref(), my_id});
+    dispatch();
+  });
+}
+
+int Scheduler::id() { return static_cast<int>(plat_.get_datum()); }
+
+void Scheduler::exit_thread() {
+  plat_.mask_signal(Sig::kPreempt);
+  if (cfg_.tracer) {
+    cfg_.tracer->record(plat_, TraceKind::kExit,
+                        static_cast<int>(plat_.get_datum()));
+  }
+  live_.fetch_sub(1, std::memory_order_acq_rel);
+  dispatch();
+}
+
+void Scheduler::suspend(const std::function<void(ThreadState)>& park) {
+  plat_.mask_signal(Sig::kPreempt);
+  callcc<Unit>([&, this](Cont<Unit> k) -> Unit {
+    const int my_id = static_cast<int>(plat_.get_datum());
+    k.preload(Unit{});
+    park(ThreadState{std::move(k).take_ref(), my_id});
+    // Once parked the thread may already be running on another proc; this
+    // proc moves on.
+    dispatch();
+  });
+}
+
+void Scheduler::reschedule(ThreadState t) { queue_->enq(plat_, std::move(t)); }
+
+void Scheduler::cancel(ThreadState t) {
+  MPNJ_CHECK(t.id != 0, "the root thread cannot be cancelled");
+  cont::mark_cancel(t.k);
+  reschedule(std::move(t));
+}
+
+void Scheduler::dispatch_from_blocked() {
+  plat_.mask_signal(Sig::kPreempt);
+  dispatch();
+}
+
+// ----- timers -----
+
+void Scheduler::at(double deadline_us, std::function<void()> fn) {
+  plat_.lock(timer_lock_);
+  timers_.push_back(Timer{deadline_us, std::move(fn)});
+  std::push_heap(timers_.begin(), timers_.end(),
+                 [](const Timer& a, const Timer& b) {
+                   return a.deadline > b.deadline;  // min-heap
+                 });
+  const double earliest = timers_.front().deadline;
+  next_deadline_.store(earliest, std::memory_order_release);
+  plat_.unlock(timer_lock_);
+}
+
+void Scheduler::run_expired_timers() {
+  // Entered from dispatch with kPreempt masked.
+  const double now = plat_.now_us();
+  std::vector<std::function<void()>> due;
+  plat_.lock(timer_lock_);
+  while (!timers_.empty() && timers_.front().deadline <= now) {
+    std::pop_heap(timers_.begin(), timers_.end(),
+                  [](const Timer& a, const Timer& b) {
+                    return a.deadline > b.deadline;
+                  });
+    due.push_back(std::move(timers_.back().fn));
+    timers_.pop_back();
+  }
+  next_deadline_.store(timers_.empty()
+                           ? std::numeric_limits<double>::infinity()
+                           : timers_.front().deadline,
+                       std::memory_order_release);
+  plat_.unlock(timer_lock_);
+  for (auto& fn : due) fn();
+}
+
+void Scheduler::sleep_until(double deadline_us) {
+  if (plat_.now_us() >= deadline_us) {
+    yield();  // already due: still a scheduling point
+    return;
+  }
+  suspend([&](ThreadState t) {
+    at(deadline_us, [this, t = std::move(t)]() mutable {
+      reschedule(std::move(t));
+    });
+  });
+}
+
+void Scheduler::sleep_for(double us) { sleep_until(plat_.now_us() + us); }
+
+void Scheduler::on_preempt() {
+  if (shutdown_.load(std::memory_order_acquire)) return;
+  if (cfg_.tracer) {
+    cfg_.tracer->record(plat_, TraceKind::kPreempt,
+                        static_cast<int>(plat_.get_datum()));
+  }
+  yield();
+}
+
+void Scheduler::run(Platform& platform, SchedulerConfig config,
+                    const std::function<void(Scheduler&)>& main_fn) {
+  platform.run([&] {
+    Scheduler sched(platform, std::move(config));
+    sched.live_.fetch_add(1);  // the root thread
+    platform.set_datum(0);
+    main_fn(sched);
+    sched.live_.fetch_sub(1);
+    // Drain: keep yielding (which also lends this proc to ready threads)
+    // until every forked thread has finished.
+    long last_live = sched.live_.load();
+    long stall = 0;
+    while (sched.live_.load(std::memory_order_acquire) > 0) {
+      sched.yield();
+      const long now_live = sched.live_.load();
+      stall = (now_live == last_live) ? stall + 1 : 0;
+      last_live = now_live;
+      MPNJ_CHECK(stall < 5'000'000,
+                 "thread deadlock: forked threads never completed");
+    }
+    sched.shutdown_.store(true, std::memory_order_release);
+    // Wait until the held worker procs have observed shutdown and released
+    // themselves; the scheduler must outlive every dispatch loop.
+    while (platform.active_procs() > 1) platform.work(10);
+  });
+}
+
+}  // namespace mp::threads

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "threads/queue.h"
+#include "threads/trace.h"
+
+namespace mp::threads {
+
+// Instruction-count charges for scheduler operations (converted to virtual
+// time by the simulator's machine model; free on native hardware where the
+// real work is the cost).  These model the ML-side bookkeeping around the
+// runtime primitives, whose costs (callcc, locks, queue ops) are charged by
+// the layers below.
+struct SchedCosts {
+  double fork_instr = 60;      // id assignment + closure setup
+  double yield_instr = 25;     // callcc + reschedule bookkeeping
+  double dispatch_instr = 20;  // per dequeue attempt
+  double poll_instr = 40;      // one empty-queue polling iteration
+};
+
+struct SchedulerConfig {
+  // Queue discipline; null selects the paper's evaluated configuration
+  // (distributed per-proc run queues).
+  std::unique_ptr<ReadyQueue> queue;
+  // Acquire as many procs as possible at startup and hold them for the
+  // duration (section 3.1's advice; what the evaluation does).  When false,
+  // the scheduler behaves exactly like Figure 3: procs are acquired by fork
+  // and released whenever the ready queue is empty.
+  bool hold_procs = true;
+  // Signal-based preemption interval; 0 disables (Figure 3 has none, the
+  // evaluated package uses it).
+  double preempt_interval_us = 0;
+  SchedCosts costs;
+  // Optional scheduling-event recorder (threads/trace.h); must outlive the
+  // scheduler.  Deterministic on the simulator backend.
+  Tracer* tracer = nullptr;
+};
+
+// The MP thread package (paper Figure 3, plus the evaluation section's
+// distributed run queue and signal-based preemption): fork / yield / id on
+// top of Proc, Lock and callcc.  The current thread's id lives in the
+// per-proc datum.
+class Scheduler {
+ public:
+  Scheduler(Platform& platform, SchedulerConfig config);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // --- the THREAD signature (Figure 1) ---
+  void fork(std::function<void()> child);
+  void yield();
+  int id();
+
+  // Terminate the current thread and dispatch another.
+  [[noreturn]] void exit_thread();
+
+  // Suspend-and-dispatch support for synchronization primitives (sync.h):
+  // park the calling thread, handing its ThreadState to `park` (which
+  // typically enqueues it on a waiter list and must release any spin lock it
+  // holds), then dispatch another thread.  kPreempt is masked from before
+  // `park` runs until the thread is resumed.
+  void suspend(const std::function<void(ThreadState)>& park);
+
+  // Move a previously suspended thread back to the ready queue.  Matches
+  // the paper's `reschedule`.
+  void reschedule(ThreadState t);
+
+  // Cancel a suspended thread whose ThreadState the caller holds (i.e. it
+  // is on no other queue): its resume raises cont::ThreadCancelled at the
+  // suspension point, unwinding the thread's frames with destructors; the
+  // fork wrapper then retires it.  The root thread cannot be cancelled.
+  void cancel(ThreadState t);
+
+  // For communication libraries (src/cml): the calling thread has already
+  // parked its continuation on waiter queues of its own (Figure 5's send and
+  // receive do this while holding channel locks); give the proc to another
+  // thread.  kPreempt is masked before dispatching.
+  [[noreturn]] void dispatch_from_blocked();
+
+  // ---- timers (extension: timer-driven wakeups, the mechanism section
+  // 3.4 suggests for simulating inter-proc alerts) ----
+
+  // Run `fn` once the platform clock reaches `deadline_us`.  The callback
+  // executes inside a dispatch loop with preemption masked: it must be
+  // brief and must not block (typical body: reschedule a parked thread or
+  // commit an event offer).  Resolution is bounded by scheduler activity,
+  // which preemption guarantees on busy procs; with hold_procs=false and
+  // every proc released, timers do not fire.
+  void at(double deadline_us, std::function<void()> fn);
+  // Park the calling thread until the platform clock reaches the deadline.
+  void sleep_until(double deadline_us);
+  void sleep_for(double us);
+
+  // Number of live threads (root + forked, not yet completed).
+  long live_threads() const { return live_.load(std::memory_order_acquire); }
+
+  Platform& platform() { return plat_; }
+
+  // Run `main_fn` as thread 0 of a fresh scheduler on `platform`.  Returns
+  // when main_fn has returned AND every forked thread has completed.
+  static void run(Platform& platform, SchedulerConfig config,
+                  const std::function<void(Scheduler&)>& main_fn);
+
+ private:
+  struct Timer {
+    double deadline;
+    std::function<void()> fn;
+  };
+
+  [[noreturn]] void dispatch();
+  void worker_loop();
+  void on_preempt();
+  void run_expired_timers();
+
+  Platform& plat_;
+  SchedulerConfig cfg_;
+  std::unique_ptr<ReadyQueue> queue_;
+  MutexLock next_id_lock_;
+  int next_id_ = 1;
+  std::atomic<long> live_{0};
+  std::atomic<bool> shutdown_{false};
+
+  MutexLock timer_lock_;
+  std::vector<Timer> timers_;  // min-heap by deadline
+  std::atomic<double> next_deadline_{
+      std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace mp::threads

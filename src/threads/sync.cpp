@@ -1,0 +1,272 @@
+#include "threads/sync.h"
+
+namespace mp::threads {
+
+// ----- Mutex -----
+
+Mutex::Mutex(Scheduler& sched) : sched_(sched) {
+  spin_ = sched_.platform().mutex_lock();
+}
+
+void Mutex::lock() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  if (!held_) {
+    held_ = true;
+    p.unlock(spin_);
+    return;
+  }
+  // Park holding the spin lock; the park callback releases it once the
+  // thread is safely on the waiter queue (the protocol the paper's send/
+  // receive use in Figure 5).
+  sched_.suspend([&](ThreadState t) {
+    waiters_.push_back(std::move(t));
+    p.unlock(spin_);
+  });
+  // Resumed: ownership was handed to us directly (held_ stayed true).
+}
+
+bool Mutex::try_lock() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  const bool got = !held_;
+  if (got) held_ = true;
+  p.unlock(spin_);
+  return got;
+}
+
+void Mutex::unlock() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  if (waiters_.empty()) {
+    held_ = false;
+    p.unlock(spin_);
+    return;
+  }
+  ThreadState next = std::move(waiters_.front());
+  waiters_.pop_front();
+  p.unlock(spin_);
+  sched_.reschedule(std::move(next));  // handoff: held_ remains true
+}
+
+// ----- CondVar -----
+
+CondVar::CondVar(Scheduler& sched) : sched_(sched) {
+  spin_ = sched_.platform().mutex_lock();
+}
+
+void CondVar::wait(Mutex& m) {
+  Platform& p = sched_.platform();
+  // Enqueue first, release the monitor second: a signal racing with this
+  // wait either sees us on the queue or happens strictly before the park,
+  // so wakeups cannot be lost.
+  sched_.suspend([&](ThreadState t) {
+    p.lock(spin_);
+    waiters_.push_back(std::move(t));
+    p.unlock(spin_);
+    m.unlock();
+  });
+  m.lock();
+}
+
+void CondVar::signal() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  if (waiters_.empty()) {
+    p.unlock(spin_);
+    return;
+  }
+  ThreadState t = std::move(waiters_.front());
+  waiters_.pop_front();
+  p.unlock(spin_);
+  sched_.reschedule(std::move(t));
+}
+
+void CondVar::broadcast() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  std::deque<ThreadState> woken;
+  woken.swap(waiters_);
+  p.unlock(spin_);
+  for (auto& t : woken) sched_.reschedule(std::move(t));
+}
+
+// ----- Barrier -----
+
+Barrier::Barrier(Scheduler& sched, int parties)
+    : sched_(sched), parties_(parties) {
+  spin_ = sched_.platform().mutex_lock();
+}
+
+void Barrier::arrive_and_wait() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    generation_++;
+    std::deque<ThreadState> woken;
+    woken.swap(waiters_);
+    p.unlock(spin_);
+    for (auto& t : woken) sched_.reschedule(std::move(t));
+    return;
+  }
+  sched_.suspend([&](ThreadState t) {
+    waiters_.push_back(std::move(t));
+    p.unlock(spin_);
+  });
+}
+
+// ----- Semaphore -----
+
+Semaphore::Semaphore(Scheduler& sched, long initial)
+    : sched_(sched), count_(initial) {
+  spin_ = sched_.platform().mutex_lock();
+}
+
+void Semaphore::acquire() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  if (count_ > 0) {
+    count_--;
+    p.unlock(spin_);
+    return;
+  }
+  sched_.suspend([&](ThreadState t) {
+    waiters_.push_back(std::move(t));
+    p.unlock(spin_);
+  });
+}
+
+bool Semaphore::try_acquire() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  const bool got = count_ > 0;
+  if (got) count_--;
+  p.unlock(spin_);
+  return got;
+}
+
+void Semaphore::release() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  if (!waiters_.empty()) {
+    ThreadState t = std::move(waiters_.front());
+    waiters_.pop_front();
+    p.unlock(spin_);
+    sched_.reschedule(std::move(t));  // the permit passes to the waiter
+    return;
+  }
+  count_++;
+  p.unlock(spin_);
+}
+
+// ----- RWLock -----
+
+RWLock::RWLock(Scheduler& sched) : sched_(sched) {
+  spin_ = sched_.platform().mutex_lock();
+}
+
+void RWLock::lock_shared() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  if (!writer_ && write_waiters_.empty()) {
+    readers_++;
+    p.unlock(spin_);
+    return;
+  }
+  sched_.suspend([&](ThreadState t) {
+    read_waiters_.push_back(std::move(t));
+    p.unlock(spin_);
+  });
+  // Resumed by a releasing writer, which already counted us as a reader.
+}
+
+void RWLock::unlock_shared() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  if (--readers_ == 0 && !write_waiters_.empty()) {
+    ThreadState w = std::move(write_waiters_.front());
+    write_waiters_.pop_front();
+    writer_ = true;
+    p.unlock(spin_);
+    sched_.reschedule(std::move(w));
+    return;
+  }
+  p.unlock(spin_);
+}
+
+void RWLock::lock_exclusive() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  if (!writer_ && readers_ == 0) {
+    writer_ = true;
+    p.unlock(spin_);
+    return;
+  }
+  sched_.suspend([&](ThreadState t) {
+    write_waiters_.push_back(std::move(t));
+    p.unlock(spin_);
+  });
+}
+
+void RWLock::unlock_exclusive() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  if (!write_waiters_.empty()) {
+    ThreadState w = std::move(write_waiters_.front());
+    write_waiters_.pop_front();
+    // writer_ stays true: direct handoff to the next writer.
+    p.unlock(spin_);
+    sched_.reschedule(std::move(w));
+    return;
+  }
+  writer_ = false;
+  std::deque<ThreadState> woken;
+  woken.swap(read_waiters_);
+  readers_ += static_cast<int>(woken.size());
+  p.unlock(spin_);
+  for (auto& t : woken) sched_.reschedule(std::move(t));
+}
+
+// ----- CountdownLatch -----
+
+CountdownLatch::CountdownLatch(Scheduler& sched, long count)
+    : sched_(sched), count_(count) {
+  spin_ = sched_.platform().mutex_lock();
+}
+
+void CountdownLatch::count_down() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  if (count_ > 0 && --count_ == 0) {
+    std::deque<ThreadState> woken;
+    woken.swap(waiters_);
+    p.unlock(spin_);
+    for (auto& t : woken) sched_.reschedule(std::move(t));
+    return;
+  }
+  p.unlock(spin_);
+}
+
+void CountdownLatch::await() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  if (count_ == 0) {
+    p.unlock(spin_);
+    return;
+  }
+  sched_.suspend([&](ThreadState t) {
+    waiters_.push_back(std::move(t));
+    p.unlock(spin_);
+  });
+}
+
+long CountdownLatch::remaining() {
+  Platform& p = sched_.platform();
+  p.lock(spin_);
+  const long c = count_;
+  p.unlock(spin_);
+  return c;
+}
+
+}  // namespace mp::threads

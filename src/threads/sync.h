@@ -1,0 +1,114 @@
+#pragma once
+
+#include <deque>
+
+#include "threads/scheduler.h"
+
+// Thread-level synchronization synthesized from mutex locks, refs and
+// first-class continuations, as section 3.3 promises ("more elaborate
+// synchronization constructs such as reader/writer locks, semaphores,
+// channels, etc., can be synthesized from mutex locks, refs, and
+// first-class continuations").  Each primitive protects its state with an
+// MP spin lock and parks waiting threads as continuations, so a blocked
+// thread costs nothing and its proc runs other work.
+
+namespace mp::threads {
+
+// Blocking mutual exclusion with direct ownership handoff to the longest
+// waiting thread.
+class Mutex {
+ public:
+  explicit Mutex(Scheduler& sched);
+  void lock();
+  bool try_lock();
+  void unlock();
+
+ private:
+  Scheduler& sched_;
+  MutexLock spin_;
+  bool held_ = false;
+  std::deque<ThreadState> waiters_;
+};
+
+// Condition variable paired with Mutex (Mesa semantics: re-lock after wake,
+// caller re-checks its predicate).
+class CondVar {
+ public:
+  explicit CondVar(Scheduler& sched);
+  void wait(Mutex& m);
+  void signal();
+  void broadcast();
+
+ private:
+  Scheduler& sched_;
+  MutexLock spin_;
+  std::deque<ThreadState> waiters_;
+};
+
+// Cyclic barrier for `parties` threads.
+class Barrier {
+ public:
+  Barrier(Scheduler& sched, int parties);
+  void arrive_and_wait();
+  long generation() const { return generation_; }
+
+ private:
+  Scheduler& sched_;
+  MutexLock spin_;
+  int parties_;
+  int waiting_ = 0;
+  long generation_ = 0;
+  std::deque<ThreadState> waiters_;
+};
+
+// Counting semaphore.
+class Semaphore {
+ public:
+  Semaphore(Scheduler& sched, long initial);
+  void acquire();
+  bool try_acquire();
+  void release();
+
+ private:
+  Scheduler& sched_;
+  MutexLock spin_;
+  long count_;
+  std::deque<ThreadState> waiters_;
+};
+
+// Reader/writer lock, writer-preferring (new readers wait once a writer is
+// queued, so writers cannot starve).
+class RWLock {
+ public:
+  explicit RWLock(Scheduler& sched);
+  void lock_shared();
+  void unlock_shared();
+  void lock_exclusive();
+  void unlock_exclusive();
+
+ private:
+  Scheduler& sched_;
+  MutexLock spin_;
+  int readers_ = 0;
+  bool writer_ = false;
+  std::deque<ThreadState> read_waiters_;
+  std::deque<ThreadState> write_waiters_;
+};
+
+// One-shot countdown latch: await() returns once count_down() has been
+// called `count` times.  The workloads use this as their join mechanism.
+class CountdownLatch {
+ public:
+  CountdownLatch(Scheduler& sched, long count);
+  void count_down();
+  void await();
+  long remaining();
+
+ private:
+  Scheduler& sched_;
+  MutexLock spin_;
+  long count_;
+  std::deque<ThreadState> waiters_;
+};
+
+}  // namespace mp::threads

@@ -1,0 +1,34 @@
+#include "threads/trace.h"
+
+#include <cstdio>
+
+namespace mp::threads {
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kFork:
+      return "fork";
+    case TraceKind::kYield:
+      return "yield";
+    case TraceKind::kExit:
+      return "exit";
+    case TraceKind::kDispatch:
+      return "dispatch";
+    case TraceKind::kPreempt:
+      return "preempt";
+  }
+  return "?";
+}
+
+std::string Tracer::format() const {
+  std::string out;
+  char line[128];
+  for (const auto& e : snapshot()) {
+    std::snprintf(line, sizeof(line), "%12.2fus proc%-3d thr%-5d %-8s %d\n",
+                  e.t, e.proc, e.thread, trace_kind_name(e.kind), e.arg);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mp::threads

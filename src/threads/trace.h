@@ -1,0 +1,88 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/tas.h"
+#include "mp/platform.h"
+
+// Scheduling-event tracing.  The paper's platform "has been used ... as a
+// basis for experimentation with concurrent debugging"; the enabling
+// property is that thread state and scheduling live in the client, where
+// they can be observed.  A Tracer attached to a Scheduler records every
+// fork / yield / exit / dispatch / preemption with its virtual (or real)
+// timestamp, proc and thread — and on the simulator backend a rerun with
+// the same configuration reproduces the trace bit for bit, giving
+// deterministic replay for free.
+
+namespace mp::threads {
+
+enum class TraceKind : std::uint8_t {
+  kFork,      // arg = child thread id
+  kYield,     // arg unused
+  kExit,      // arg unused
+  kDispatch,  // thread = resumed thread
+  kPreempt,   // preemption signal delivered
+};
+
+const char* trace_kind_name(TraceKind k);
+
+struct TraceEvent {
+  double t = 0;  // platform clock (virtual us on the simulator)
+  int proc = -1;
+  int thread = -1;
+  TraceKind kind = TraceKind::kYield;
+  int arg = 0;
+
+  friend bool operator==(const TraceEvent& a, const TraceEvent& b) {
+    return a.t == b.t && a.proc == b.proc && a.thread == b.thread &&
+           a.kind == b.kind && a.arg == b.arg;
+  }
+};
+
+class Tracer {
+ public:
+  void record(Platform& p, TraceKind kind, int thread, int arg = 0) {
+    TraceEvent e;
+    e.t = p.now_us();
+    e.proc = p.proc_id();
+    e.thread = thread;
+    e.kind = kind;
+    e.arg = arg;
+    while (lock_.exchange(1, std::memory_order_acquire) != 0) {
+      arch::cpu_relax();
+    }
+    events_.push_back(e);
+    lock_.store(0, std::memory_order_release);
+  }
+
+  std::vector<TraceEvent> snapshot() const {
+    while (lock_.exchange(1, std::memory_order_acquire) != 0) {
+      arch::cpu_relax();
+    }
+    std::vector<TraceEvent> out = events_;
+    lock_.store(0, std::memory_order_release);
+    return out;
+  }
+
+  std::size_t count(TraceKind kind) const {
+    std::size_t n = 0;
+    for (const auto& e : snapshot()) {
+      if (e.kind == kind) n++;
+    }
+    return n;
+  }
+
+  std::size_t size() const { return snapshot().size(); }
+
+  // Human-readable dump (debugging aid).
+  std::string format() const;
+
+ private:
+  mutable std::atomic<std::uint32_t> lock_{0};
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mp::threads

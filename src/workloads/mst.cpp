@@ -1,0 +1,243 @@
+// mst: minimum spanning tree of 200 random points with Prim's algorithm
+// (paper section 6).  Coordinates are reals, so every distance computation
+// costs 80387-era floating point time and allocates a boxed result — the
+// SML/NJ behaviour that gives this tiny benchmark measurable work.
+//
+// Structure: a fixed crew of worker threads (at most 8 — the problem does
+// not decompose further) lives for the whole run; every Prim iteration each
+// worker relaxes and scans its slice, then synchronizes with the
+// coordinating root through a single-writer flag barrier (each flag has one
+// writer, so plain shared-memory reads and writes suffice — the kind of
+// synchronization section 3.3 expects clients to build from refs).  The
+// per-iteration barriers and the sequential combine are what keep this
+// benchmark's speedup low in the paper.
+
+#include <cmath>
+#include <vector>
+
+#include "arch/cacheline.h"
+#include "arch/rng.h"
+#include "gc/heap.h"
+#include "workloads/workload.h"
+
+namespace mp::workloads {
+
+namespace {
+
+using gc::Value;
+
+constexpr int kMaxCrew = 8;
+constexpr double kDistInstr = 40.0;  // ~5 FP ops on a 16 MHz 80387
+constexpr double kScanInstr = 6.0;
+
+class Mst final : public Workload {
+ public:
+  Mst(int n, std::uint64_t seed) : n_(n) {
+    arch::Rng rng(seed);
+    px_.resize(static_cast<std::size_t>(n_));
+    py_.resize(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; i++) {
+      px_[static_cast<std::size_t>(i)] = static_cast<double>(rng.below(10000));
+      py_[static_cast<std::size_t>(i)] = static_cast<double>(rng.below(10000));
+    }
+    ref_weight_ = reference_prim();
+  }
+
+  const char* name() const override { return "mst"; }
+
+  void run(threads::Scheduler& sched, int tasks) override {
+    Platform& p = sched.platform();
+    // Crew sizing: the coordinating root thread works on slice 0 itself and
+    // each additional crew member needs its own proc; a crew larger than
+    // the machine would spin against itself.
+    const int crew = std::max(1, std::min({kMaxCrew, tasks, p.max_procs()}));
+    if (crew <= 1) {
+      run_sequential(sched);
+      return;
+    }
+
+    mind_.assign(static_cast<std::size_t>(n_), 0.0);
+    visited_.assign(static_cast<std::size_t>(n_), 0);
+    visited_[0] = 1;
+    for (int j = 0; j < n_; j++) {
+      mind_[static_cast<std::size_t>(j)] = dist2(sched, 0, j);
+    }
+    weight_ = 0;
+
+    // Flag barrier state: single writer per slot.
+    std::vector<arch::CachePadded<std::atomic<long>>> done(
+        static_cast<std::size_t>(crew));
+    std::vector<arch::CachePadded<std::pair<double, int>>> local(
+        static_cast<std::size_t>(crew));
+    std::atomic<long> round{0};
+    std::atomic<int> chosen{-1};
+
+    auto spin_until = [&](const std::function<bool()>& cond) {
+      while (!cond()) p.work(4);  // shared-memory polling
+    };
+
+    // One Prim iteration's sweep over a crew member's slice: relax against
+    // the newest tree node and find the slice minimum in the same pass.
+    auto sweep_slice = [&](int w, int iter) {
+      const Range range = task_range(n_, crew, w);
+      const int u = chosen.load(std::memory_order_acquire);
+      double best = 0;
+      int best_j = -1;
+      for (int j = range.lo; j < range.hi; j++) {
+        if (visited_[static_cast<std::size_t>(j)]) continue;
+        if (u >= 0) {
+          const double d = dist2(sched, u, j);
+          if (d < mind_[static_cast<std::size_t>(j)]) {
+            mind_[static_cast<std::size_t>(j)] = d;
+          }
+        }
+        const double m = mind_[static_cast<std::size_t>(j)];
+        if (best_j < 0 || m < best) {
+          best = m;
+          best_j = j;
+        }
+      }
+      p.work((range.hi - range.lo) * kScanInstr);
+      *local[static_cast<std::size_t>(w)] = {best, best_j};
+      done[static_cast<std::size_t>(w)]->store(iter, std::memory_order_release);
+    };
+
+    threads::CountdownLatch latch(sched, crew - 1);
+    for (int w = 1; w < crew; w++) {
+      sched.fork([&, w] {
+        for (int iter = 1; iter < n_; iter++) {
+          // Wait for the coordinator to publish this round's tree node.
+          spin_until([&] { return round.load(std::memory_order_acquire) >= iter; });
+          sweep_slice(w, iter);
+        }
+        latch.count_down();
+      });
+    }
+
+    // Coordinator (this thread): sweep slice 0, combine, pick, publish.
+    int u = -1;
+    for (int iter = 1; iter < n_; iter++) {
+      chosen.store(u, std::memory_order_release);
+      round.store(iter, std::memory_order_release);
+      sweep_slice(0, iter);
+      spin_until([&] {
+        for (int w = 1; w < crew; w++) {
+          if (done[static_cast<std::size_t>(w)]->load(std::memory_order_acquire) < iter) {
+            return false;
+          }
+        }
+        return true;
+      });
+      // Sequential combine: a serial section every iteration.
+      double best = 0;
+      int next = -1;
+      for (int w = 0; w < crew; w++) {
+        const auto [d, j] = *local[static_cast<std::size_t>(w)];
+        if (j >= 0 && (next < 0 || d < best)) {
+          best = d;
+          next = j;
+        }
+      }
+      p.work(crew * 6.0);
+      visited_[static_cast<std::size_t>(next)] = 1;
+      weight_ += best;
+      u = next;
+    }
+    latch.await();
+  }
+
+  bool verify() const override {
+    return std::fabs(weight_ - ref_weight_) < 1e-6 * ref_weight_;
+  }
+
+  std::uint64_t checksum() const override {
+    return static_cast<std::uint64_t>(weight_);
+  }
+
+ private:
+  // Squared Euclidean distance, charged as boxed-real arithmetic.
+  double dist2(threads::Scheduler& sched, int a, int b) {
+    Platform& p = sched.platform();
+    const double dx = px_[static_cast<std::size_t>(a)] - px_[static_cast<std::size_t>(b)];
+    const double dy = py_[static_cast<std::size_t>(a)] - py_[static_cast<std::size_t>(b)];
+    p.work(kDistInstr);
+    p.heap().alloc_record({Value::from_int(a), Value::from_int(b)});  // boxed result
+    return dx * dx + dy * dy;
+  }
+  double dist2_plain(int a, int b) const {
+    const double dx = px_[static_cast<std::size_t>(a)] - px_[static_cast<std::size_t>(b)];
+    const double dy = py_[static_cast<std::size_t>(a)] - py_[static_cast<std::size_t>(b)];
+    return dx * dx + dy * dy;
+  }
+
+  void run_sequential(threads::Scheduler& sched) {
+    Platform& p = sched.platform();
+    std::vector<double> mind(static_cast<std::size_t>(n_));
+    std::vector<char> visited(static_cast<std::size_t>(n_), 0);
+    visited[0] = 1;
+    for (int j = 0; j < n_; j++) mind[static_cast<std::size_t>(j)] = dist2(sched, 0, j);
+    weight_ = 0;
+    int u = -1;
+    for (int iter = 1; iter < n_; iter++) {
+      double best = 0;
+      int next = -1;
+      for (int j = 0; j < n_; j++) {
+        if (visited[static_cast<std::size_t>(j)]) continue;
+        if (u >= 0) {
+          const double d = dist2(sched, u, j);
+          if (d < mind[static_cast<std::size_t>(j)]) mind[static_cast<std::size_t>(j)] = d;
+        }
+        if (next < 0 || mind[static_cast<std::size_t>(j)] < best) {
+          best = mind[static_cast<std::size_t>(j)];
+          next = j;
+        }
+      }
+      p.work(n_ * kScanInstr);
+      visited[static_cast<std::size_t>(next)] = 1;
+      weight_ += best;
+      u = next;
+    }
+  }
+
+  double reference_prim() const {
+    std::vector<double> mind(static_cast<std::size_t>(n_));
+    std::vector<char> visited(static_cast<std::size_t>(n_), 0);
+    visited[0] = 1;
+    for (int j = 0; j < n_; j++) mind[static_cast<std::size_t>(j)] = dist2_plain(0, j);
+    double total = 0;
+    for (int iter = 1; iter < n_; iter++) {
+      double best = 0;
+      int u = -1;
+      for (int j = 0; j < n_; j++) {
+        if (visited[static_cast<std::size_t>(j)]) continue;
+        if (u < 0 || mind[static_cast<std::size_t>(j)] < best) {
+          best = mind[static_cast<std::size_t>(j)];
+          u = j;
+        }
+      }
+      visited[static_cast<std::size_t>(u)] = 1;
+      total += best;
+      for (int j = 0; j < n_; j++) {
+        if (visited[static_cast<std::size_t>(j)]) continue;
+        const double d = dist2_plain(u, j);
+        if (d < mind[static_cast<std::size_t>(j)]) mind[static_cast<std::size_t>(j)] = d;
+      }
+    }
+    return total;
+  }
+
+  int n_;
+  std::vector<double> px_, py_;
+  double ref_weight_ = 0;
+  double weight_ = 0;
+  std::vector<double> mind_;
+  std::vector<char> visited_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_mst(int points, std::uint64_t seed) {
+  return std::make_unique<Mst>(points, seed);
+}
+
+}  // namespace mp::workloads

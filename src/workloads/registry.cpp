@@ -1,0 +1,20 @@
+#include "arch/panic.h"
+#include "workloads/workload.h"
+
+namespace mp::workloads {
+
+std::unique_ptr<Workload> make_workload(const std::string& name, int procs) {
+  if (name == "allpairs") return make_allpairs();
+  if (name == "mst") return make_mst();
+  if (name == "abisort") return make_abisort();
+  if (name == "simple") return make_simple();
+  if (name == "mm") return make_mm();
+  if (name == "seq") return make_seq(procs);
+  arch::panic("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string> workload_names() {
+  return {"allpairs", "mst", "abisort", "simple", "mm", "seq"};
+}
+
+}  // namespace mp::workloads

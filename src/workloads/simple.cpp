@@ -1,0 +1,260 @@
+// simple: the SIMPLE hydrodynamics benchmark (Crowley et al.), 100x100
+// grid, one time step (paper section 6).  A simplified Lagrangian-style
+// step with the code's characteristic phase structure: many short parallel
+// stencil phases separated by global joins, red-black heat-conduction
+// sweeps, and a sequential time-step computation.  The available
+// parallelism is deliberately coarse (fixed 16-row blocks, i.e. at most
+// ~7 concurrent tasks), which is what produces the paper's worst-case
+// speedup and the >50% processor idle rates at 10+ procs.
+//
+// Every phase is element-wise or double-buffered, so results are exact and
+// schedule-independent; verification compares against a sequential run of
+// the same formulas.
+
+#include <cmath>
+#include <vector>
+
+#include "gc/heap.h"
+#include "workloads/workload.h"
+
+namespace mp::workloads {
+
+namespace {
+
+using gc::Value;
+
+constexpr int kRowsPerBlock = 20;  // fixed grain: limited parallelism
+constexpr double kDt = 0.01;
+constexpr double kGamma = 1.4;
+constexpr double kCond = 0.1;
+
+class SimpleHydro final : public Workload {
+ public:
+  SimpleHydro(int n, int steps) : n_(n), steps_(steps) {
+    init(u_, v_, r_, e_, p_, q_);
+    // Sequential reference.
+    Grid ru, rv, rr, re, rp, rq;
+    init(ru, rv, rr, re, rp, rq);
+    for (int s = 0; s < steps_; s++) {
+      step_reference(ru, rv, rr, re, rp, rq);
+    }
+    ref_e_ = re;
+    ref_r_ = rr;
+  }
+
+  const char* name() const override { return "simple"; }
+
+  void run(threads::Scheduler& sched, int tasks) override {
+    (void)tasks;  // the grain is fixed; that is the point of this benchmark
+    init(u_, v_, r_, e_, p_, q_);
+    for (int s = 0; s < steps_; s++) step_parallel(sched);
+  }
+
+  bool verify() const override { return e_ == ref_e_ && r_ == ref_r_; }
+
+  std::uint64_t checksum() const override {
+    std::uint64_t acc = 1469598103934665603ull;
+    for (const double d : e_) {
+      std::uint64_t bits;
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      acc = (acc ^ bits) * 1099511628211ull;
+    }
+    return acc;
+  }
+
+ private:
+  using Grid = std::vector<double>;
+
+  double& at(Grid& g, int i, int j) const {
+    return g[static_cast<std::size_t>(i) * n_ + j];
+  }
+  double at(const Grid& g, int i, int j) const {
+    return g[static_cast<std::size_t>(i) * n_ + j];
+  }
+
+  void init(Grid& u, Grid& v, Grid& r, Grid& e, Grid& p, Grid& q) const {
+    const auto cells = static_cast<std::size_t>(n_) * n_;
+    u.assign(cells, 0.0);
+    v.assign(cells, 0.0);
+    r.assign(cells, 1.0);
+    e.assign(cells, 0.0);
+    p.assign(cells, 0.0);
+    q.assign(cells, 0.0);
+    for (int i = 0; i < n_; i++) {
+      for (int j = 0; j < n_; j++) {
+        // A smooth blast profile in the corner.
+        const double d2 = static_cast<double>(i) * i + static_cast<double>(j) * j;
+        at(e, i, j) = 1.0 + 4.0 / (1.0 + d2 / (n_ * 2.0));
+        at(r, i, j) = 1.0 + 0.25 / (1.0 + d2 / (n_ * 4.0));
+      }
+    }
+  }
+
+  // --- the physics phases, element-wise on [1, n-2]^2 interiors ---
+
+  void phase_pressure(Grid& p, const Grid& r, const Grid& e, const Grid& q,
+                      int lo, int hi) const {
+    for (int i = lo; i < hi; i++) {
+      for (int j = 0; j < n_; j++) {
+        at(p, i, j) = (kGamma - 1.0) * at(r, i, j) * at(e, i, j) + at(q, i, j);
+      }
+    }
+  }
+
+  void phase_velocity(Grid& u, Grid& v, const Grid& p, int lo, int hi) const {
+    for (int i = std::max(lo, 1); i < std::min(hi, n_ - 1); i++) {
+      for (int j = 1; j < n_ - 1; j++) {
+        at(u, i, j) += kDt * (at(p, i, j - 1) - at(p, i, j + 1)) * 0.5;
+        at(v, i, j) += kDt * (at(p, i - 1, j) - at(p, i + 1, j)) * 0.5;
+      }
+    }
+  }
+
+  void phase_viscosity(Grid& q, const Grid& u, const Grid& v, const Grid& r,
+                       int lo, int hi) const {
+    for (int i = std::max(lo, 1); i < std::min(hi, n_ - 1); i++) {
+      for (int j = 1; j < n_ - 1; j++) {
+        const double du = at(u, i, j + 1) - at(u, i, j - 1);
+        const double dv = at(v, i + 1, j) - at(v, i - 1, j);
+        const double c = du + dv;
+        at(q, i, j) = c < 0 ? 2.0 * at(r, i, j) * c * c : 0.0;
+      }
+    }
+  }
+
+  void phase_density(Grid& rn, const Grid& r, const Grid& u, const Grid& v,
+                     int lo, int hi) const {
+    for (int i = lo; i < hi; i++) {
+      for (int j = 0; j < n_; j++) {
+        if (i == 0 || i == n_ - 1 || j == 0 || j == n_ - 1) {
+          at(rn, i, j) = at(r, i, j);
+          continue;
+        }
+        const double div =
+            (at(u, i, j + 1) - at(u, i, j - 1) + at(v, i + 1, j) -
+             at(v, i - 1, j)) *
+            0.5;
+        at(rn, i, j) = at(r, i, j) * (1.0 - kDt * div);
+      }
+    }
+  }
+
+  void phase_energy(Grid& e, const Grid& p, const Grid& u, const Grid& v,
+                    const Grid& r, int lo, int hi) const {
+    for (int i = std::max(lo, 1); i < std::min(hi, n_ - 1); i++) {
+      for (int j = 1; j < n_ - 1; j++) {
+        const double div =
+            (at(u, i, j + 1) - at(u, i, j - 1) + at(v, i + 1, j) -
+             at(v, i - 1, j)) *
+            0.5;
+        at(e, i, j) -= kDt * at(p, i, j) * div / at(r, i, j);
+      }
+    }
+  }
+
+  void phase_conduct(Grid& e, int parity, int lo, int hi) const {
+    for (int i = std::max(lo, 1); i < std::min(hi, n_ - 1); i++) {
+      for (int j = 1 + ((i + 1 + parity) % 2); j < n_ - 1; j += 2) {
+        const double lap = at(e, i - 1, j) + at(e, i + 1, j) +
+                           at(e, i, j - 1) + at(e, i, j + 1) -
+                           4.0 * at(e, i, j);
+        at(e, i, j) += kDt * kCond * lap;
+      }
+    }
+  }
+
+  // Sequential time-step control: a global reduction done on the root.
+  double phase_dt(const Grid& u, const Grid& v) const {
+    double m = 1e-9;
+    for (int i = 0; i < n_; i++) {
+      for (int j = 0; j < n_; j++) {
+        m = std::max(m, std::fabs(at(u, i, j)) + std::fabs(at(v, i, j)));
+      }
+    }
+    return 0.1 / m;
+  }
+
+  void step_reference(Grid& u, Grid& v, Grid& r, Grid& e, Grid& p,
+                      Grid& q) const {
+    phase_pressure(p, r, e, q, 0, n_);
+    phase_velocity(u, v, p, 0, n_);
+    phase_viscosity(q, u, v, r, 0, n_);
+    Grid rn = r;
+    phase_density(rn, r, u, v, 0, n_);
+    r.swap(rn);
+    phase_energy(e, p, u, v, r, 0, n_);
+    for (int sweep = 0; sweep < 2; sweep++) {
+      phase_conduct(e, 0, 0, n_);
+      phase_conduct(e, 1, 0, n_);
+    }
+    (void)phase_dt(u, v);
+  }
+
+  // One phase fanned out over fixed row blocks with a join, charging work
+  // and allocating a live row copy per row (boxed reals in the ML version
+  // make these phases extremely allocation-heavy).
+  void parallel_phase(threads::Scheduler& sched, double instr_per_cell,
+                      const std::function<void(int, int)>& body) {
+    Platform& p = sched.platform();
+    auto& h = p.heap();
+    const int blocks = (n_ + kRowsPerBlock - 1) / kRowsPerBlock;
+    parallel_for_tasks(sched, blocks, [&](int b) {
+      const int lo = b * kRowsPerBlock;
+      const int hi = std::min(n_, lo + kRowsPerBlock);
+      body(lo, hi);
+      p.work((hi - lo) * n_ * instr_per_cell);
+      // One fresh boxed row per grid row touched, live for the phase.
+      std::vector<gc::GlobalRoot> live;
+      live.reserve(static_cast<std::size_t>(hi - lo));
+      for (int i = lo; i < hi; i++) {
+        live.emplace_back(
+            h, h.alloc_array(static_cast<std::size_t>(n_), Value::from_int(i)));
+      }
+    });
+  }
+
+  void step_parallel(threads::Scheduler& sched) {
+    Platform& plat = sched.platform();
+    parallel_phase(sched, 8, [&](int lo, int hi) {
+      phase_pressure(p_, r_, e_, q_, lo, hi);
+    });
+    parallel_phase(sched, 10, [&](int lo, int hi) {
+      phase_velocity(u_, v_, p_, lo, hi);
+    });
+    parallel_phase(sched, 10, [&](int lo, int hi) {
+      phase_viscosity(q_, u_, v_, r_, lo, hi);
+    });
+    Grid rn = r_;
+    parallel_phase(sched, 10, [&](int lo, int hi) {
+      phase_density(rn, r_, u_, v_, lo, hi);
+    });
+    r_.swap(rn);
+    parallel_phase(sched, 10, [&](int lo, int hi) {
+      phase_energy(e_, p_, u_, v_, r_, lo, hi);
+    });
+    for (int sweep = 0; sweep < 2; sweep++) {
+      parallel_phase(sched, 8, [&](int lo, int hi) {
+        phase_conduct(e_, 0, lo, hi);
+      });
+      parallel_phase(sched, 8, [&](int lo, int hi) {
+        phase_conduct(e_, 1, lo, hi);
+      });
+    }
+    // Sequential time-step control on the root thread.
+    (void)phase_dt(u_, v_);
+    plat.work(n_ * n_ * 3.0);
+  }
+
+  int n_;
+  int steps_;
+  Grid u_, v_, r_, e_, p_, q_;
+  Grid ref_e_, ref_r_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_simple(int grid, int steps) {
+  return std::make_unique<SimpleHydro>(grid, steps);
+}
+
+}  // namespace mp::workloads

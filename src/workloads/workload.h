@@ -1,0 +1,81 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/rng.h"
+#include "gc/roots.h"
+#include "threads/scheduler.h"
+#include "threads/sync.h"
+
+// The five applications of the paper's Figure 6 plus the `seq` baseline.
+//
+// Each workload does real computation on plain C++ state (so results are
+// verified exactly against an independent sequential reference), while its
+// parallel structure — fork/join shape, barriers, serial sections — and its
+// memory behaviour — work charges and SML/NJ-style heap allocation through
+// the GC — drive the simulator's cost model.  Allocation profiles follow the
+// ML originals: functional updates allocate fresh records/rows which stay
+// live for a phase, so minor collections copy real data and the sequential
+// collector becomes the scalability bottleneck the paper reports.
+
+namespace mp::workloads {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual const char* name() const = 0;
+  // Body of the root thread; forks worker threads as needed.  `tasks` is
+  // the parallelism hint (typically the proc count).
+  virtual void run(threads::Scheduler& sched, int tasks) = 0;
+  // Exact check against the sequential reference; call after run().
+  virtual bool verify() const = 0;
+  // A stable digest of the computed output (for cross-backend checks).
+  virtual std::uint64_t checksum() const = 0;
+};
+
+// Factories (parameter defaults are the paper's sizes).
+std::unique_ptr<Workload> make_allpairs(int nodes = 75,
+                                        std::uint64_t seed = 1993);
+std::unique_ptr<Workload> make_mst(int points = 200,
+                                   std::uint64_t seed = 1993);
+std::unique_ptr<Workload> make_abisort(int log2_n = 12,
+                                       std::uint64_t seed = 1993);
+std::unique_ptr<Workload> make_simple(int grid = 100, int steps = 1);
+std::unique_ptr<Workload> make_mm(int n = 100, std::uint64_t seed = 1993);
+// `seq`: `copies` independent instances of a simple allocating computation
+// (one per proc in the Figure 6 baseline).
+std::unique_ptr<Workload> make_seq(int copies, long list_len = 30000);
+
+std::unique_ptr<Workload> make_workload(const std::string& name, int procs);
+std::vector<std::string> workload_names();
+
+// Fork `tasks` threads running body(task_index) and wait for all of them.
+inline void parallel_for_tasks(threads::Scheduler& sched, int tasks,
+                               const std::function<void(int)>& body) {
+  threads::CountdownLatch latch(sched, tasks);
+  for (int t = 0; t < tasks; t++) {
+    sched.fork([&body, &latch, t] {
+      body(t);
+      latch.count_down();
+    });
+  }
+  latch.await();
+}
+
+// Static block partition of [0, n) into `tasks` contiguous ranges.
+struct Range {
+  int lo;
+  int hi;
+};
+inline Range task_range(int n, int tasks, int t) {
+  const int base = n / tasks;
+  const int extra = n % tasks;
+  const int lo = t * base + std::min(t, extra);
+  const int hi = lo + base + (t < extra ? 1 : 0);
+  return {lo, hi};
+}
+
+}  // namespace mp::workloads

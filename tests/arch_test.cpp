@@ -1,0 +1,266 @@
+// Unit tests for the architecture layer: context switching, test-and-set,
+// deterministic RNG, cache padding.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "arch/cacheline.h"
+#include "arch/ctx.h"
+#include "arch/rng.h"
+#include "arch/tas.h"
+
+namespace {
+
+using mp::arch::Context;
+using mp::arch::ctx_make;
+using mp::arch::ctx_swap;
+using mp::arch::Rng;
+using mp::arch::TasWord;
+
+// ---------- Context switching ----------
+
+struct PingPong {
+  Context main_ctx;
+  Context side_ctx;
+  std::vector<int> trace;
+};
+
+void side_fn(void* arg) {
+  auto* pp = static_cast<PingPong*>(arg);
+  pp->trace.push_back(1);
+  ctx_swap(pp->side_ctx, pp->main_ctx);
+  pp->trace.push_back(3);
+  ctx_swap(pp->side_ctx, pp->main_ctx);
+  std::abort();  // never reached
+}
+
+TEST(Ctx, SwapRoundTrip) {
+  constexpr std::size_t kStack = 64 * 1024;
+  std::vector<std::byte> stack(kStack);
+  PingPong pp;
+  ctx_make(pp.side_ctx, stack.data(), kStack, side_fn, &pp);
+  pp.trace.push_back(0);
+  ctx_swap(pp.main_ctx, pp.side_ctx);
+  pp.trace.push_back(2);
+  ctx_swap(pp.main_ctx, pp.side_ctx);
+  pp.trace.push_back(4);
+  EXPECT_EQ(pp.trace, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+struct DeepCall {
+  Context main_ctx;
+  Context side_ctx;
+  long result = 0;
+};
+
+long collatz_steps(long n) {
+  if (n == 1) return 0;
+  return 1 + collatz_steps(n % 2 == 0 ? n / 2 : 3 * n + 1);
+}
+
+void deep_fn(void* arg) {
+  auto* d = static_cast<DeepCall*>(arg);
+  d->result = collatz_steps(97);  // real nested calls on the new stack
+  ctx_swap(d->side_ctx, d->main_ctx);
+  std::abort();
+}
+
+TEST(Ctx, NestedCallsOnFabricatedStack) {
+  constexpr std::size_t kStack = 256 * 1024;
+  std::vector<std::byte> stack(kStack);
+  DeepCall d;
+  ctx_make(d.side_ctx, stack.data(), kStack, deep_fn, &d);
+  ctx_swap(d.main_ctx, d.side_ctx);
+  EXPECT_EQ(d.result, 118);
+}
+
+struct FloatState {
+  Context main_ctx;
+  Context side_ctx;
+  double side_sum = 0.0;
+};
+
+void float_fn(void* arg) {
+  auto* f = static_cast<FloatState*>(arg);
+  double acc = 0.25;
+  for (int i = 0; i < 10; i++) {
+    acc = acc * 1.5 + 0.125;
+    ctx_swap(f->side_ctx, f->main_ctx);
+  }
+  f->side_sum = acc;
+  ctx_swap(f->side_ctx, f->main_ctx);
+  std::abort();
+}
+
+TEST(Ctx, FloatingPointSurvivesSwitches) {
+  constexpr std::size_t kStack = 64 * 1024;
+  std::vector<std::byte> stack(kStack);
+  FloatState f;
+  ctx_make(f.side_ctx, stack.data(), kStack, float_fn, &f);
+  double acc = 0.25;
+  double main_acc = 1.0;
+  for (int i = 0; i < 10; i++) {
+    acc = acc * 1.5 + 0.125;
+    main_acc *= 3.14159;  // keep FP registers busy on the main side too
+    ctx_swap(f.main_ctx, f.side_ctx);
+  }
+  ctx_swap(f.main_ctx, f.side_ctx);
+  EXPECT_DOUBLE_EQ(f.side_sum, acc);
+  EXPECT_GT(main_acc, 1.0);
+}
+
+TEST(Ctx, ExceptionsUnwindOnFabricatedStack) {
+  struct Thrower {
+    Context main_ctx;
+    Context side_ctx;
+    bool caught = false;
+    bool dtor_ran = false;
+  };
+  static auto fn = +[](void* arg) {
+    auto* t = static_cast<Thrower*>(arg);
+    struct Raii {
+      bool* flag;
+      ~Raii() { *flag = true; }
+    };
+    try {
+      Raii r{&t->dtor_ran};
+      throw std::runtime_error("boom");
+    } catch (const std::runtime_error&) {
+      t->caught = true;
+    }
+    ctx_swap(t->side_ctx, t->main_ctx);
+    std::abort();
+  };
+  constexpr std::size_t kStack = 128 * 1024;
+  std::vector<std::byte> stack(kStack);
+  Thrower t;
+  ctx_make(t.side_ctx, stack.data(), kStack, fn, &t);
+  ctx_swap(t.main_ctx, t.side_ctx);
+  EXPECT_TRUE(t.caught);
+  EXPECT_TRUE(t.dtor_ran);
+}
+
+// ---------- TasWord ----------
+
+TEST(Tas, InitiallyClear) {
+  TasWord w;
+  EXPECT_FALSE(w.is_set());
+  EXPECT_TRUE(w.test_and_set());
+  EXPECT_TRUE(w.is_set());
+}
+
+TEST(Tas, SecondSetFails) {
+  TasWord w;
+  ASSERT_TRUE(w.test_and_set());
+  EXPECT_FALSE(w.test_and_set());
+  w.clear();
+  EXPECT_TRUE(w.test_and_set());
+}
+
+TEST(Tas, MutualExclusionUnderContention) {
+  TasWord w;
+  std::atomic<int> inside{0};
+  std::atomic<bool> violation{false};
+  std::atomic<long> acquisitions{0};
+  constexpr int kThreads = 4;
+  constexpr long kIters = 20000;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int i = 0; i < kThreads; i++) {
+    ts.emplace_back([&] {
+      for (long n = 0; n < kIters; n++) {
+        while (!w.test_and_set()) mp::arch::cpu_relax();
+        if (inside.fetch_add(1) != 0) violation = true;
+        inside.fetch_sub(1);
+        w.clear();
+        acquisitions.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(violation);
+  EXPECT_EQ(acquisitions.load(), kThreads * kIters);
+}
+
+TEST(Tas, PaddedToCacheLine) {
+  EXPECT_GE(sizeof(TasWord), mp::arch::kCacheLine);
+  EXPECT_EQ(alignof(TasWord), mp::arch::kCacheLine);
+}
+
+// ---------- RNG ----------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; i++) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; i++) {
+    if (a.next() == b.next()) same++;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; i++) {
+      EXPECT_LT(r.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; i++) seen.insert(r.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng r(11);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; i++) {
+    double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(5);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; i++) first.push_back(a.next());
+  a.reseed(5);
+  for (int i = 0; i < 10; i++) EXPECT_EQ(a.next(), first[static_cast<size_t>(i)]);
+}
+
+// ---------- CachePadded ----------
+
+TEST(CachePadded, SizeAndAlignment) {
+  mp::arch::CachePadded<int> p;
+  EXPECT_EQ(sizeof(p) % mp::arch::kCacheLine, 0u);
+  EXPECT_EQ(alignof(decltype(p)), mp::arch::kCacheLine);
+  *p = 17;
+  EXPECT_EQ(p.value, 17);
+}
+
+TEST(CachePadded, ArrayElementsDoNotShareLines) {
+  mp::arch::CachePadded<int> arr[2];
+  auto a = reinterpret_cast<std::uintptr_t>(&arr[0].value);
+  auto b = reinterpret_cast<std::uintptr_t>(&arr[1].value);
+  EXPECT_GE(b - a, mp::arch::kCacheLine);
+}
+
+}  // namespace

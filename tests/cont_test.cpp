@@ -1,0 +1,370 @@
+// Unit tests for the one-shot continuation layer: callcc/throw semantics,
+// segment lifetime, proc idle-loop integration, and cross-thread migration.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <semaphore>
+#include <thread>
+#include <vector>
+
+#include "cont/cont.h"
+#include "cont/exec.h"
+#include "cont/segment.h"
+
+namespace {
+
+using mp::cont::callcc;
+using mp::cont::Cont;
+using mp::cont::ContRef;
+using mp::cont::exit_to_idle;
+using mp::cont::fire_preloaded;
+using mp::cont::make_entry;
+using mp::cont::run_from_idle;
+using mp::cont::SegmentPool;
+using mp::cont::throw_to;
+using mp::cont::Unit;
+
+// A minimal stand-in for a platform proc: an ExecContext plus an idle loop
+// context, driven directly by the test thread.  The real platform backends
+// (src/mp) are built the same way.
+class ManualProc {
+ public:
+  ManualProc() {
+    exec_.idle_ctx = &idle_ctx_;
+    mp::cont::set_current_exec(&exec_);
+  }
+  ~ManualProc() { mp::cont::set_current_exec(nullptr); }
+
+  void run(std::function<void()> f) {
+    run_from_idle(make_entry(std::move(f)), exec_);
+  }
+  void resume(ContRef k) { run_from_idle(std::move(k), exec_); }
+
+ private:
+  mp::cont::ExecContext exec_;
+  mp::arch::Context idle_ctx_;
+};
+
+class ContTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    baseline_segments_ = SegmentPool::instance().outstanding();
+    baseline_cores_ = mp::cont::live_core_count();
+  }
+  void TearDown() override {
+    EXPECT_EQ(SegmentPool::instance().outstanding(), baseline_segments_)
+        << "stack segments leaked by test";
+    EXPECT_EQ(mp::cont::live_core_count(), baseline_cores_)
+        << "continuation cores leaked by test";
+  }
+
+  std::int64_t baseline_segments_ = 0;
+  std::size_t baseline_cores_ = 0;
+};
+
+TEST_F(ContTest, EntryRunsToCompletion) {
+  ManualProc proc;
+  bool ran = false;
+  proc.run([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(ContTest, EntryRunsNestedCalls) {
+  ManualProc proc;
+  long result = 0;
+  proc.run([&] {
+    std::function<long(long)> fib = [&](long n) {
+      return n < 2 ? n : fib(n - 1) + fib(n - 2);
+    };
+    result = fib(15);
+  });
+  EXPECT_EQ(result, 610);
+}
+
+TEST_F(ContTest, CallccImplicitReturn) {
+  ManualProc proc;
+  int got = 0;
+  proc.run([&] { got = callcc<int>([](Cont<int>) { return 42; }); });
+  EXPECT_EQ(got, 42);
+}
+
+TEST_F(ContTest, CallccThrowDeliversValue) {
+  ManualProc proc;
+  int got = 0;
+  bool after_throw = false;
+  proc.run([&] {
+    got = callcc<int>([&](Cont<int> k) -> int {
+      throw_to(std::move(k), 7);
+      after_throw = true;  // unreachable
+      return 0;
+    });
+  });
+  EXPECT_EQ(got, 7);
+  EXPECT_FALSE(after_throw);
+}
+
+TEST_F(ContTest, ThrowRunsDestructorsOfAbandonedFrames) {
+  ManualProc proc;
+  bool dtor_ran = false;
+  bool dtor_ran_before_resume = false;
+  proc.run([&] {
+    callcc<Unit>([&](Cont<Unit> k) -> Unit {
+      struct Raii {
+        bool* flag;
+        ~Raii() { *flag = true; }
+      };
+      Raii r{&dtor_ran};
+      throw_to(std::move(k), Unit{});
+    });
+    dtor_ran_before_resume = dtor_ran;
+  });
+  EXPECT_TRUE(dtor_ran);
+  EXPECT_TRUE(dtor_ran_before_resume);
+}
+
+TEST_F(ContTest, SuspendAndResumeAcrossIdle) {
+  ManualProc proc;
+  Cont<int> saved;
+  std::vector<int> trace;
+  proc.run([&] {
+    trace.push_back(1);
+    int v = callcc<int>([&](Cont<int> k) -> int {
+      saved = std::move(k);
+      exit_to_idle();
+    });
+    trace.push_back(v);
+  });
+  // The thread is suspended; the proc is back in its idle loop.
+  EXPECT_EQ(trace, (std::vector<int>{1}));
+  saved.preload(2);
+  proc.resume(std::move(saved).take_ref());
+  EXPECT_EQ(trace, (std::vector<int>{1, 2}));
+}
+
+TEST_F(ContTest, TwoThreadsPingPongOnOneProc) {
+  // A miniature round-robin scheduler: the shape of Figure 1 in the paper.
+  ManualProc proc;
+  std::deque<ContRef> ready;
+  std::vector<int> trace;
+
+  auto dispatch_or_exit = [&]() -> void {
+    if (ready.empty()) exit_to_idle();
+    ContRef next = std::move(ready.front());
+    ready.pop_front();
+    fire_preloaded(std::move(next));
+  };
+  auto yield = [&] {
+    callcc<Unit>([&](Cont<Unit> k) -> Unit {
+      k.preload(Unit{});
+      ready.push_back(std::move(k).take_ref());
+      dispatch_or_exit();
+      return Unit{};  // unreachable; dispatch_or_exit transfers control
+    });
+  };
+
+  auto body = [&](int id) {
+    for (int i = 0; i < 3; i++) {
+      trace.push_back(id * 10 + i);
+      yield();
+    }
+  };
+  ready.push_back(make_entry([&] { body(2); dispatch_or_exit(); }));
+  proc.run([&] { body(1); dispatch_or_exit(); });
+  EXPECT_EQ(trace, (std::vector<int>{10, 20, 11, 21, 12, 22}));
+}
+
+TEST_F(ContTest, NestedCallcc) {
+  ManualProc proc;
+  int got = 0;
+  proc.run([&] {
+    got = callcc<int>([&](Cont<int> outer) -> int {
+      int inner_v = callcc<int>([&](Cont<int> inner) -> int {
+        throw_to(std::move(inner), 5);
+      });
+      throw_to(std::move(outer), inner_v + 100);
+    });
+  });
+  EXPECT_EQ(got, 105);
+}
+
+TEST_F(ContTest, PointerPayload) {
+  ManualProc proc;
+  int cell = 99;
+  int* got = nullptr;
+  proc.run([&] {
+    got = callcc<int*>([&](Cont<int*> k) -> int* {
+      throw_to(std::move(k), &cell);
+    });
+  });
+  ASSERT_EQ(got, &cell);
+  EXPECT_EQ(*got, 99);
+}
+
+TEST_F(ContTest, SmallStructPayload) {
+  struct Pair {
+    std::int32_t a;
+    std::int32_t b;
+  };
+  ManualProc proc;
+  Pair got{0, 0};
+  proc.run([&] {
+    got = callcc<Pair>([](Cont<Pair> k) -> Pair {
+      throw_to(std::move(k), Pair{3, 4});
+    });
+  });
+  EXPECT_EQ(got.a, 3);
+  EXPECT_EQ(got.b, 4);
+}
+
+TEST_F(ContTest, ManySequentialCaptures) {
+  ManualProc proc;
+  long sum = 0;
+  proc.run([&] {
+    for (int i = 0; i < 20000; i++) {
+      sum += callcc<int>([&](Cont<int> k) -> int { throw_to(std::move(k), 1); });
+    }
+  });
+  EXPECT_EQ(sum, 20000);
+}
+
+TEST_F(ContTest, ChainOfSuspendedThreadsReclaimedWithoutFiring) {
+  // Threads suspended on the "queue" are dropped without ever being resumed;
+  // reference counting must reclaim their whole segment chains.
+  ManualProc proc;
+  {
+    std::vector<Cont<Unit>> parked;
+    for (int i = 0; i < 50; i++) {
+      proc.run([&] {
+        callcc<Unit>([&](Cont<Unit> k) -> Unit {
+          parked.push_back(std::move(k));
+          exit_to_idle();
+        });
+        ADD_FAILURE() << "abandoned thread was resumed";
+      });
+    }
+    EXPECT_EQ(parked.size(), 50u);
+  }  // parked handles dropped here
+}
+
+// pthread_self() is a pure function GCC may cache across a continuation
+// switch (code holding thread identity across suspension points must re-read
+// it through an opaque call; this is the same caveat the runtime documents
+// for proc-local state).
+__attribute__((noinline)) std::thread::id current_tid() {
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  return std::this_thread::get_id();
+}
+
+TEST_F(ContTest, MigrationAcrossKernelThreads) {
+  Cont<int> saved;
+  std::vector<std::string> trace;
+  std::thread::id first_id{};
+  std::thread::id second_id{};
+  std::binary_semaphore parked{0};
+  std::binary_semaphore resumed{0};
+
+  // Both threads stay alive for the whole test so their ids are distinct.
+  std::thread t1([&] {
+    ManualProc proc;
+    proc.run([&] {
+      first_id = current_tid();
+      int v = callcc<int>([&](Cont<int> k) -> int {
+        saved = std::move(k);
+        exit_to_idle();
+      });
+      // Resumed on a different kernel thread (t2's proc).
+      second_id = current_tid();
+      trace.push_back("resumed:" + std::to_string(v));
+    });
+    parked.release();
+    resumed.acquire();  // wait for t2 before exiting
+  });
+  std::thread t2([&] {
+    parked.acquire();
+    ASSERT_TRUE(saved.valid());
+    ManualProc proc;
+    saved.preload(77);
+    proc.resume(std::move(saved).take_ref());
+    resumed.release();
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(trace, (std::vector<std::string>{"resumed:77"}));
+  EXPECT_NE(first_id, second_id);
+}
+
+TEST_F(ContTest, SegmentsAreRecycled) {
+  ManualProc proc;
+  const auto created_before = SegmentPool::instance().total_created();
+  proc.run([&] {
+    for (int i = 0; i < 1000; i++) {
+      callcc<int>([&](Cont<int> k) -> int { throw_to(std::move(k), 0); });
+    }
+  });
+  const auto created_after = SegmentPool::instance().total_created();
+  // 1000 captures must not allocate 1000 fresh segments.
+  EXPECT_LE(created_after - created_before, 8);
+}
+
+using ContDeathTest = ContTest;
+
+TEST_F(ContDeathTest, PreloadTwicePanics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ManualProc proc;
+        Cont<int> saved;
+        proc.run([&] {
+          callcc<int>([&](Cont<int> k) -> int {
+            saved = std::move(k);
+            exit_to_idle();
+          });
+        });
+        saved.preload(1);
+        saved.preload(2);
+      },
+      "one-shot violation");
+}
+
+TEST_F(ContDeathTest, BodyReturnAfterValueDeliveredPanics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ManualProc proc;
+        proc.run([&] {
+          callcc<Unit>([&](Cont<Unit> k) -> Unit {
+            k.preload(Unit{});  // value delivered (e.g. queued elsewhere)...
+            return Unit{};      // ...so the implicit return throw is a bug
+          });
+        });
+      },
+      "one-shot violation");
+}
+
+TEST_F(ContDeathTest, CallccOutsideProcPanics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        callcc<int>([](Cont<int>) { return 1; });
+      },
+      "callcc outside");
+}
+
+TEST_F(ContDeathTest, UserExceptionEscapingBodyPanics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ManualProc proc;
+        proc.run([&] {
+          callcc<int>([](Cont<int>) -> int {
+            throw std::runtime_error("user error");
+          });
+        });
+      },
+      "crossed a continuation boundary");
+}
+
+}  // namespace

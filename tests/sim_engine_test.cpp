@@ -1,0 +1,221 @@
+// Direct unit tests of the discrete-event engine: virtual clocks, min-clock
+// scheduling, the shared-bus queueing model, idle/wake accounting,
+// stop-the-world rendezvous, timer hooks, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/machine.h"
+
+namespace {
+
+using mp::sim::Engine;
+using mp::sim::MachineModel;
+
+// Drives an Engine directly: each proc's fiber sits in idle_wait until a
+// job is posted to it.
+class Harness {
+ public:
+  explicit Harness(MachineModel model)
+      : jobs_(static_cast<std::size_t>(model.num_procs)),
+        eng_(model, [this](int id) { proc_main(id); }) {}
+
+  void post(int id, std::function<void()> job) {
+    jobs_[static_cast<std::size_t>(id)] = std::move(job);
+    eng_.wake(id, 0);
+  }
+
+  Engine& eng() { return eng_; }
+
+ private:
+  void proc_main(int id) {
+    for (;;) {
+      if (jobs_[static_cast<std::size_t>(id)]) {
+        auto job = std::move(jobs_[static_cast<std::size_t>(id)]);
+        jobs_[static_cast<std::size_t>(id)] = nullptr;
+        job();
+      }
+      eng_.idle_wait();
+    }
+  }
+
+  std::vector<std::function<void()>> jobs_;
+  Engine eng_;
+};
+
+MachineModel test_model(int procs) {
+  MachineModel m = mp::sim::sequent_s81(procs);
+  m.bus_bytes_per_us = 25.0;
+  return m;
+}
+
+TEST(Engine, ChargeAdvancesClockAndBusyTime) {
+  Harness h(test_model(1));
+  h.post(0, [&] {
+    h.eng().charge_us(100);
+    h.eng().charge_instr(40);  // 40 instr at 4 MIPS = 10 us
+  });
+  h.eng().run();
+  EXPECT_DOUBLE_EQ(h.eng().clock_of(0), 110.0);
+  EXPECT_DOUBLE_EQ(h.eng().stats(0).busy_us, 110.0);
+  EXPECT_DOUBLE_EQ(h.eng().total_us(), 110.0);
+}
+
+TEST(Engine, MinClockProcRunsFirst) {
+  Harness h(test_model(2));
+  std::vector<int> order;
+  h.post(0, [&] {
+    for (int i = 0; i < 3; i++) {
+      order.push_back(0);
+      h.eng().charge_us(10);  // proc 0 ticks at 10us
+    }
+  });
+  h.post(1, [&] {
+    for (int i = 0; i < 3; i++) {
+      order.push_back(1);
+      h.eng().charge_us(25);  // proc 1 ticks at 25us
+    }
+  });
+  h.eng().run();
+  // Events by virtual time: p0@0, p1@0, p0@10, p0@20, p1@25, p0? done,
+  // p1@50.  Ties go to the lower id.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 0, 1, 1}));
+}
+
+TEST(Engine, BusSerializesTransfersFcfs) {
+  Harness h(test_model(2));
+  h.post(0, [&] {
+    h.eng().bus_transfer(50);  // 2us transfer starting at t=0
+  });
+  h.post(1, [&] {
+    h.eng().charge_us(1);      // request the bus at t=1, mid-transfer
+    h.eng().bus_transfer(25);  // 1us transfer, must queue until t=2
+  });
+  h.eng().run();
+  EXPECT_DOUBLE_EQ(h.eng().clock_of(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.eng().clock_of(1), 3.0);
+  EXPECT_DOUBLE_EQ(h.eng().stats(1).bus_wait_us, 1.0);
+  EXPECT_DOUBLE_EQ(h.eng().bus_stats().busy_us, 3.0);
+  EXPECT_EQ(h.eng().bus_stats().bytes, 75u);
+}
+
+TEST(Engine, BusIdleGapDoesNotChargeWaiters) {
+  Harness h(test_model(1));
+  h.post(0, [&] {
+    h.eng().bus_transfer(25);  // [0,1]
+    h.eng().charge_us(10);     // bus idle until t=11
+    h.eng().bus_transfer(25);  // starts immediately at t=11
+  });
+  h.eng().run();
+  EXPECT_DOUBLE_EQ(h.eng().clock_of(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.eng().stats(0).bus_wait_us, 0.0);
+}
+
+TEST(Engine, WakeHonoursNotBeforeAndAccountsIdle) {
+  Harness h(test_model(2));
+  h.post(1, [] {});  // starts at t=0, completes instantly, goes idle
+  h.post(0, [&] {
+    h.eng().charge_us(100);
+    h.eng().wake(1, h.eng().now());
+  });
+  // Proc 1 wakes at 100, finds nothing, idles again; the 100us gap between
+  // its idle transition (t=0) and the wake is accounted as idle time.
+  h.eng().run();
+  EXPECT_DOUBLE_EQ(h.eng().clock_of(1), 100.0);
+  EXPECT_DOUBLE_EQ(h.eng().stats(1).idle_us, 100.0);
+}
+
+TEST(Engine, StopWorldParksRunnableProcsAndBumpsClocks) {
+  Harness h(test_model(3));
+  double p1_after = -1, p2_after = -1;
+  h.post(0, [&] {
+    h.eng().charge_us(5);
+    h.eng().stop_world();
+    // World stopped: procs 1 and 2 are parked at safe points.
+    h.eng().charge_us(1000);  // the "collection"
+    h.eng().resume_world();
+  });
+  h.post(1, [&] {
+    for (int i = 0; i < 100; i++) h.eng().charge_us(1);
+    p1_after = h.eng().now();
+  });
+  h.post(2, [&] {
+    for (int i = 0; i < 100; i++) h.eng().charge_us(1);
+    p2_after = h.eng().now();
+  });
+  h.eng().run();
+  // Both workers lost time to the collection: their 100us of work finishes
+  // only after the collector's clock (~1005) once parked.
+  EXPECT_GT(p1_after, 1000.0);
+  EXPECT_GT(p2_after, 1000.0);
+  EXPECT_GT(h.eng().stats(1).gc_wait_us + h.eng().stats(2).gc_wait_us, 900.0);
+}
+
+TEST(Engine, TimerHookFiresAtArmedTime) {
+  Harness h(test_model(1));
+  std::vector<double> fired_at;
+  h.eng().set_timer_hook([&](int id) {
+    EXPECT_EQ(id, 0);
+    fired_at.push_back(h.eng().now());
+  });
+  h.post(0, [&] {
+    h.eng().arm_hook(0, 50);
+    for (int i = 0; i < 20; i++) h.eng().charge_us(10);
+  });
+  h.eng().run();
+  ASSERT_EQ(fired_at.size(), 1u) << "hook must fire once until re-armed";
+  EXPECT_GE(fired_at[0], 50.0);
+  EXPECT_LE(fired_at[0], 60.0) << "fires at the first charge past the deadline";
+}
+
+TEST(Engine, RngStreamsAreDeterministicAndPerProc) {
+  auto sample = [](int proc) {
+    Harness h(test_model(2));
+    std::vector<std::uint64_t> vals;
+    h.post(proc, [&, proc] {
+      for (int i = 0; i < 5; i++) vals.push_back(h.eng().rng(proc).next());
+    });
+    h.eng().run();
+    return vals;
+  };
+  EXPECT_EQ(sample(0), sample(0));
+  EXPECT_NE(sample(0), sample(1));
+}
+
+TEST(Engine, DeterministicInterleavingUnderRandomLoads) {
+  auto run_once = [] {
+    Harness h(test_model(4));
+    std::vector<int> order;
+    for (int id = 0; id < 4; id++) {
+      h.post(id, [&h, &order, id] {
+        for (int i = 0; i < 50; i++) {
+          order.push_back(id);
+          h.eng().charge_us(1.0 + static_cast<double>(h.eng().rng(id).below(20)));
+          h.eng().bus_transfer(static_cast<double>(h.eng().rng(id).below(30)));
+        }
+      });
+    }
+    h.eng().run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, NumIdleTracksProcStates) {
+  Harness h(test_model(3));
+  EXPECT_EQ(h.eng().num_idle(), 3);
+  int seen_mid_run = -1;
+  h.post(0, [&] {
+    h.eng().charge_us(1);
+    seen_mid_run = h.eng().num_idle();
+  });
+  h.eng().run();
+  EXPECT_EQ(seen_mid_run, 2);
+  EXPECT_EQ(h.eng().num_idle(), 3);
+}
+
+}  // namespace
