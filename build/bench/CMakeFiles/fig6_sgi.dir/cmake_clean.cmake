@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sgi.dir/fig6_sgi.cpp.o"
+  "CMakeFiles/fig6_sgi.dir/fig6_sgi.cpp.o.d"
+  "fig6_sgi"
+  "fig6_sgi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sgi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cml.dir/micro_cml.cpp.o"
+  "CMakeFiles/micro_cml.dir/micro_cml.cpp.o.d"
+  "micro_cml"
+  "micro_cml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cont.dir/micro_cont.cpp.o"
+  "CMakeFiles/micro_cont.dir/micro_cont.cpp.o.d"
+  "micro_cont"
+  "micro_cont.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cont.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

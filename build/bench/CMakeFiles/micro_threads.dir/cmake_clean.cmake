@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_threads.dir/micro_threads.cpp.o"
+  "CMakeFiles/micro_threads.dir/micro_threads.cpp.o.d"
+  "micro_threads"
+  "micro_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_bus_traffic.dir/table_bus_traffic.cpp.o"
+  "CMakeFiles/table_bus_traffic.dir/table_bus_traffic.cpp.o.d"
+  "table_bus_traffic"
+  "table_bus_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_bus_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_gc_ablation.dir/table_gc_ablation.cpp.o"
+  "CMakeFiles/table_gc_ablation.dir/table_gc_ablation.cpp.o.d"
+  "table_gc_ablation"
+  "table_gc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_gc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

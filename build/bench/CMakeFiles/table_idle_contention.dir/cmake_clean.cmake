@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_idle_contention.dir/table_idle_contention.cpp.o"
+  "CMakeFiles/table_idle_contention.dir/table_idle_contention.cpp.o.d"
+  "table_idle_contention"
+  "table_idle_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_idle_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_lock_backoff.dir/table_lock_backoff.cpp.o"
+  "CMakeFiles/table_lock_backoff.dir/table_lock_backoff.cpp.o.d"
+  "table_lock_backoff"
+  "table_lock_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_lock_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

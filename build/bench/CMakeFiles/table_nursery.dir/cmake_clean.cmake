@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_nursery.dir/table_nursery.cpp.o"
+  "CMakeFiles/table_nursery.dir/table_nursery.cpp.o.d"
+  "table_nursery"
+  "table_nursery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_nursery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_portability.dir/table_portability.cpp.o"
+  "CMakeFiles/table_portability.dir/table_portability.cpp.o.d"
+  "table_portability"
+  "table_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

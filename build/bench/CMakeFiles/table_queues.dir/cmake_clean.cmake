@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_queues.dir/table_queues.cpp.o"
+  "CMakeFiles/table_queues.dir/table_queues.cpp.o.d"
+  "table_queues"
+  "table_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alert_server.dir/alert_server.cpp.o"
+  "CMakeFiles/alert_server.dir/alert_server.cpp.o.d"
+  "alert_server"
+  "alert_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alert_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

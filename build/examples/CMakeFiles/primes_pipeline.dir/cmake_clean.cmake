@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primes_pipeline.dir/primes_pipeline.cpp.o"
+  "CMakeFiles/primes_pipeline.dir/primes_pipeline.cpp.o.d"
+  "primes_pipeline"
+  "primes_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primes_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_machine.dir/time_machine.cpp.o"
+  "CMakeFiles/time_machine.dir/time_machine.cpp.o.d"
+  "time_machine"
+  "time_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpnj_arch.dir/ctx.cpp.o"
+  "CMakeFiles/mpnj_arch.dir/ctx.cpp.o.d"
+  "CMakeFiles/mpnj_arch.dir/ctx_x86_64.S.o"
+  "CMakeFiles/mpnj_arch.dir/panic.cpp.o"
+  "CMakeFiles/mpnj_arch.dir/panic.cpp.o.d"
+  "libmpnj_arch.a"
+  "libmpnj_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/mpnj_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

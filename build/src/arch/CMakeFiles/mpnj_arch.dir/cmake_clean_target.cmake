@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpnj_arch.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpnj_cont.dir/cont.cpp.o"
+  "CMakeFiles/mpnj_cont.dir/cont.cpp.o.d"
+  "CMakeFiles/mpnj_cont.dir/exec.cpp.o"
+  "CMakeFiles/mpnj_cont.dir/exec.cpp.o.d"
+  "CMakeFiles/mpnj_cont.dir/segment.cpp.o"
+  "CMakeFiles/mpnj_cont.dir/segment.cpp.o.d"
+  "libmpnj_cont.a"
+  "libmpnj_cont.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpnj_cont.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpnj_gc.dir/heap.cpp.o"
+  "CMakeFiles/mpnj_gc.dir/heap.cpp.o.d"
+  "libmpnj_gc.a"
+  "libmpnj_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpnj_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpnj_mp.dir/native_platform.cpp.o"
+  "CMakeFiles/mpnj_mp.dir/native_platform.cpp.o.d"
+  "CMakeFiles/mpnj_mp.dir/platform.cpp.o"
+  "CMakeFiles/mpnj_mp.dir/platform.cpp.o.d"
+  "CMakeFiles/mpnj_mp.dir/sim_platform.cpp.o"
+  "CMakeFiles/mpnj_mp.dir/sim_platform.cpp.o.d"
+  "CMakeFiles/mpnj_mp.dir/uni_platform.cpp.o"
+  "CMakeFiles/mpnj_mp.dir/uni_platform.cpp.o.d"
+  "libmpnj_mp.a"
+  "libmpnj_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpnj_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

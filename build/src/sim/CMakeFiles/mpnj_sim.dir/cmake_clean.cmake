@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpnj_sim.dir/engine.cpp.o"
+  "CMakeFiles/mpnj_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mpnj_sim.dir/machine.cpp.o"
+  "CMakeFiles/mpnj_sim.dir/machine.cpp.o.d"
+  "libmpnj_sim.a"
+  "libmpnj_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpnj_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpnj_threads.dir/queue.cpp.o"
+  "CMakeFiles/mpnj_threads.dir/queue.cpp.o.d"
+  "CMakeFiles/mpnj_threads.dir/scheduler.cpp.o"
+  "CMakeFiles/mpnj_threads.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mpnj_threads.dir/sync.cpp.o"
+  "CMakeFiles/mpnj_threads.dir/sync.cpp.o.d"
+  "CMakeFiles/mpnj_threads.dir/trace.cpp.o"
+  "CMakeFiles/mpnj_threads.dir/trace.cpp.o.d"
+  "libmpnj_threads.a"
+  "libmpnj_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpnj_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/abisort.cpp" "src/workloads/CMakeFiles/mpnj_workloads.dir/abisort.cpp.o" "gcc" "src/workloads/CMakeFiles/mpnj_workloads.dir/abisort.cpp.o.d"
+  "/root/repo/src/workloads/allpairs.cpp" "src/workloads/CMakeFiles/mpnj_workloads.dir/allpairs.cpp.o" "gcc" "src/workloads/CMakeFiles/mpnj_workloads.dir/allpairs.cpp.o.d"
+  "/root/repo/src/workloads/mm.cpp" "src/workloads/CMakeFiles/mpnj_workloads.dir/mm.cpp.o" "gcc" "src/workloads/CMakeFiles/mpnj_workloads.dir/mm.cpp.o.d"
+  "/root/repo/src/workloads/mst.cpp" "src/workloads/CMakeFiles/mpnj_workloads.dir/mst.cpp.o" "gcc" "src/workloads/CMakeFiles/mpnj_workloads.dir/mst.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/mpnj_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/mpnj_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/runner.cpp" "src/workloads/CMakeFiles/mpnj_workloads.dir/runner.cpp.o" "gcc" "src/workloads/CMakeFiles/mpnj_workloads.dir/runner.cpp.o.d"
+  "/root/repo/src/workloads/seq.cpp" "src/workloads/CMakeFiles/mpnj_workloads.dir/seq.cpp.o" "gcc" "src/workloads/CMakeFiles/mpnj_workloads.dir/seq.cpp.o.d"
+  "/root/repo/src/workloads/simple.cpp" "src/workloads/CMakeFiles/mpnj_workloads.dir/simple.cpp.o" "gcc" "src/workloads/CMakeFiles/mpnj_workloads.dir/simple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/threads/CMakeFiles/mpnj_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/mpnj_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/mpnj_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpnj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cont/CMakeFiles/mpnj_cont.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mpnj_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

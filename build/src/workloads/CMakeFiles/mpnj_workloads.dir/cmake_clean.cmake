@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpnj_workloads.dir/abisort.cpp.o"
+  "CMakeFiles/mpnj_workloads.dir/abisort.cpp.o.d"
+  "CMakeFiles/mpnj_workloads.dir/allpairs.cpp.o"
+  "CMakeFiles/mpnj_workloads.dir/allpairs.cpp.o.d"
+  "CMakeFiles/mpnj_workloads.dir/mm.cpp.o"
+  "CMakeFiles/mpnj_workloads.dir/mm.cpp.o.d"
+  "CMakeFiles/mpnj_workloads.dir/mst.cpp.o"
+  "CMakeFiles/mpnj_workloads.dir/mst.cpp.o.d"
+  "CMakeFiles/mpnj_workloads.dir/registry.cpp.o"
+  "CMakeFiles/mpnj_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/mpnj_workloads.dir/runner.cpp.o"
+  "CMakeFiles/mpnj_workloads.dir/runner.cpp.o.d"
+  "CMakeFiles/mpnj_workloads.dir/seq.cpp.o"
+  "CMakeFiles/mpnj_workloads.dir/seq.cpp.o.d"
+  "CMakeFiles/mpnj_workloads.dir/simple.cpp.o"
+  "CMakeFiles/mpnj_workloads.dir/simple.cpp.o.d"
+  "libmpnj_workloads.a"
+  "libmpnj_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpnj_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cont_test.dir/cont_test.cpp.o"
+  "CMakeFiles/cont_test.dir/cont_test.cpp.o.d"
+  "cont_test"
+  "cont_test.pdb"
+  "cont_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cont_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlthreads_test.dir/mlthreads_test.cpp.o"
+  "CMakeFiles/mlthreads_test.dir/mlthreads_test.cpp.o.d"
+  "mlthreads_test"
+  "mlthreads_test.pdb"
+  "mlthreads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlthreads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

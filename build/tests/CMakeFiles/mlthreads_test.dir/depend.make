@@ -1,0 +1,2 @@
+# Empty dependencies file for mlthreads_test.
+# This may be replaced when dependencies are built.

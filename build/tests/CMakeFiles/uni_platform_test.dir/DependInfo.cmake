@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/uni_platform_test.cpp" "tests/CMakeFiles/uni_platform_test.dir/uni_platform_test.cpp.o" "gcc" "tests/CMakeFiles/uni_platform_test.dir/uni_platform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mp/CMakeFiles/mpnj_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/mpnj_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpnj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/mpnj_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cont/CMakeFiles/mpnj_cont.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mpnj_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

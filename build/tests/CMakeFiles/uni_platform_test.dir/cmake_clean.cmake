@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uni_platform_test.dir/uni_platform_test.cpp.o"
+  "CMakeFiles/uni_platform_test.dir/uni_platform_test.cpp.o.d"
+  "uni_platform_test"
+  "uni_platform_test.pdb"
+  "uni_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uni_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
