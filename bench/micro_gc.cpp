@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "gc/heap.h"
 #include "mp/native_platform.h"
 
@@ -88,4 +89,11 @@ BENCHMARK(BM_MinorCollection)->Arg(1000)->Arg(10000)->Arg(50000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::dump_metrics_json("micro_gc");
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "arch/tas.h"
+#include "bench_util.h"
 #include "mp/native_platform.h"
 
 namespace {
@@ -64,7 +65,7 @@ BENCHMARK(BM_MutexLockCreate);
 void BM_TasContended(benchmark::State& state) {
   static mp::arch::TasWord w;
   for (auto _ : state) {
-    while (!w.test_and_set()) mp::arch::cpu_relax();
+    mp::arch::spin_acquire(w);
     w.clear();
   }
 }
@@ -72,4 +73,11 @@ BENCHMARK(BM_TasContended)->Threads(1)->Threads(2)->Threads(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::dump_metrics_json("micro_lock");
+  return 0;
+}

@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "mp/native_platform.h"
 #include "threads/scheduler.h"
 #include "threads/sync.h"
@@ -87,4 +88,11 @@ BENCHMARK(BM_ForkManyThenDrain)->Arg(16)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::dump_metrics_json("micro_threads");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "arch/fiber_san.h"
+
+#if MPNJ_SAN_ADDRESS || MPNJ_SAN_THREAD
+
+// Declared by hand so the file builds against any sanitizer runtime new
+// enough to ship the fiber API, without depending on optional headers.
+extern "C" {
+#if MPNJ_SAN_ADDRESS
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+void __asan_unpoison_memory_region(const volatile void* addr,
+                                   std::size_t size);
+#endif
+#if MPNJ_SAN_THREAD
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+void* __tsan_get_current_fiber(void);
+#endif
+}
+
+namespace mp::arch::san {
+
+void* fiber_create() {
+#if MPNJ_SAN_THREAD
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+
+void fiber_destroy(void* fiber) {
+#if MPNJ_SAN_THREAD
+  if (fiber != nullptr) __tsan_destroy_fiber(fiber);
+#else
+  (void)fiber;
+#endif
+}
+
+void* current_fiber() {
+#if MPNJ_SAN_THREAD
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+void switch_begin(void** fake_save, void* dest_fiber, const void* dest_bottom,
+                  std::size_t dest_size) {
+#if MPNJ_SAN_ADDRESS
+  __sanitizer_start_switch_fiber(fake_save, dest_bottom, dest_size);
+#else
+  (void)fake_save;
+  (void)dest_bottom;
+  (void)dest_size;
+#endif
+#if MPNJ_SAN_THREAD
+  // Flag 0 keeps the default synchronization between fibers: every value
+  // written before the switch happens-before the resumed side.
+  if (dest_fiber != nullptr) __tsan_switch_to_fiber(dest_fiber, 0);
+#else
+  (void)dest_fiber;
+#endif
+}
+
+void switch_finish(void* fake_restore, const void** prev_bottom,
+                   std::size_t* prev_size) {
+#if MPNJ_SAN_ADDRESS
+  __sanitizer_finish_switch_fiber(fake_restore, prev_bottom, prev_size);
+#else
+  (void)fake_restore;
+  (void)prev_bottom;
+  (void)prev_size;
+#endif
+}
+
+void stack_reuse(void* base, std::size_t size) {
+#if MPNJ_SAN_ADDRESS
+  __asan_unpoison_memory_region(base, size);
+#else
+  (void)base;
+  (void)size;
+#endif
+}
+
+}  // namespace mp::arch::san
+
+#endif  // MPNJ_SAN_ADDRESS || MPNJ_SAN_THREAD

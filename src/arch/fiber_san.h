@@ -1,0 +1,95 @@
+#pragma once
+
+// Sanitizer annotations for user-level stack switching.
+//
+// ASan and TSan track one stack per kernel thread; the raw ctx_swap in
+// arch/ctx.h moves execution between heap-allocated stack segments behind
+// their backs, which ASan reports as stack corruption and TSan as impossible
+// interleavings.  Both sanitizers export a fiber API for exactly this
+// situation; this header wraps it so the continuation layer and the
+// simulator engine can bracket every ctx_swap:
+//
+//   void* fake = nullptr;
+//   san::switch_begin(&fake, dest_fiber, dest_bottom, dest_size);
+//   arch::ctx_swap(save, to);
+//   san::switch_finish(fake, &prev_bottom, &prev_size);   // on arrival
+//
+// Passing a null fake-save to switch_begin tells ASan the current stack is
+// being abandoned for good (its fake-stack frames are freed rather than
+// preserved for a resume).  switch_finish reports the bounds of the stack
+// execution just left — that is how callers learn the bounds of OS-thread
+// stacks (a proc's idle loop) without any platform-specific plumbing.
+//
+// Everything degrades to a no-op when neither sanitizer is active, so the
+// production context switch stays untouched.
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MPNJ_SAN_ADDRESS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MPNJ_SAN_ADDRESS 1
+#endif
+#endif
+#ifndef MPNJ_SAN_ADDRESS
+#define MPNJ_SAN_ADDRESS 0
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define MPNJ_SAN_THREAD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MPNJ_SAN_THREAD 1
+#endif
+#endif
+#ifndef MPNJ_SAN_THREAD
+#define MPNJ_SAN_THREAD 0
+#endif
+
+namespace mp::arch::san {
+
+inline constexpr bool kAddressSan = MPNJ_SAN_ADDRESS != 0;
+inline constexpr bool kThreadSan = MPNJ_SAN_THREAD != 0;
+inline constexpr bool kActive = kAddressSan || kThreadSan;
+
+#if MPNJ_SAN_ADDRESS || MPNJ_SAN_THREAD
+
+// Creates / destroys a TSan fiber identity for a stack segment (null when
+// TSan is not active).  A fiber must not be destroyed while executing on it.
+void* fiber_create();
+void fiber_destroy(void* fiber);
+
+// The TSan fiber currently executing (for an OS thread that never switched,
+// its implicit fiber).  Null when TSan is not active.
+void* current_fiber();
+
+// Call immediately before ctx_swap.  `fake_save` receives ASan's fake-stack
+// handle to pass to switch_finish when this context is resumed; pass nullptr
+// when the current stack is abandoned and will never be resumed.
+void switch_begin(void** fake_save, void* dest_fiber, const void* dest_bottom,
+                  std::size_t dest_size);
+
+// Call immediately after ctx_swap returns (including at the entry point of a
+// fresh stack, with a null `fake_restore`).  `prev_bottom`/`prev_size`, when
+// non-null, receive the bounds of the stack execution arrived from.
+void switch_finish(void* fake_restore, const void** prev_bottom,
+                   std::size_t* prev_size);
+
+// Clears stale ASan shadow before a pooled stack segment is rebooted:
+// abandoned frames never ran their epilogues, so their redzone poison would
+// otherwise outlive them into the next execution.
+void stack_reuse(void* base, std::size_t size);
+
+#else
+
+inline void* fiber_create() { return nullptr; }
+inline void fiber_destroy(void*) {}
+inline void* current_fiber() { return nullptr; }
+inline void switch_begin(void**, void*, const void*, std::size_t) {}
+inline void switch_finish(void*, const void**, std::size_t*) {}
+inline void stack_reuse(void*, std::size_t) {}
+
+#endif
+
+}  // namespace mp::arch::san

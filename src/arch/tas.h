@@ -1,8 +1,10 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 
 #include "arch/cacheline.h"
+#include "metrics/metrics.h"
 
 namespace mp::arch {
 
@@ -44,6 +46,38 @@ class alignas(kCacheLine) TasWord {
 
  private:
   std::atomic<std::uint32_t> word_{0};
+};
+
+// Spin until the word is acquired, feeding the contention counters.  This is
+// the one spin loop shared by every runtime-internal lock (heap, signal
+// table, segment pool); the platform Locks keep their own loops because they
+// add backoff and safe-point polling, and instrument those themselves.
+inline void spin_acquire(TasWord& w) noexcept {
+  if (w.test_and_set()) {
+    MPNJ_METRIC_COUNT(kLockAcquires, 1);
+    return;
+  }
+  std::uint64_t iters = 0;
+  do {
+    ++iters;
+    cpu_relax();
+  } while (!w.test_and_set());
+  MPNJ_METRIC_COUNT(kLockAcquires, 1);
+  MPNJ_METRIC_COUNT(kLockContended, 1);
+  MPNJ_METRIC_COUNT(kLockSpinIters, iters);
+  MPNJ_METRIC_RECORD(kLockSpinIters, iters);
+}
+
+// RAII spin_acquire / clear pair.
+class TasGuard {
+ public:
+  explicit TasGuard(TasWord& w) noexcept : w_(w) { spin_acquire(w_); }
+  ~TasGuard() { w_.clear(); }
+  TasGuard(const TasGuard&) = delete;
+  TasGuard& operator=(const TasGuard&) = delete;
+
+ private:
+  TasWord& w_;
 };
 
 }  // namespace mp::arch

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "gc/roots.h"
+#include "metrics/metrics.h"
 #include "threads/scheduler.h"
 #include "threads/sync.h"
 
@@ -39,6 +40,12 @@ enum class SyncSt : std::uint8_t { kWaiting, kClaimed, kSynched };
 struct EventState {
   std::atomic<SyncSt> st{SyncSt::kWaiting};
   int fired_base = -1;
+  // Set by the offering pass after its last touch of the sync frame.  A
+  // partner may commit a parked offer and resume the sync on another proc
+  // while the offering pass is still scanning the remaining bases; the
+  // resumed side must not return (destroying the event and the frame under
+  // the scanner) until the offerer signs off.
+  std::atomic<bool> offers_done{false};
 
   bool synched() const {
     return st.load(std::memory_order_acquire) == SyncSt::kSynched;
@@ -219,13 +226,22 @@ class Event {
               // A partner committed one of our parked offers while we were
               // scanning; our continuation is (or will be) on the ready
               // queue with the payload preloaded.
+              own->offers_done.store(true, std::memory_order_release);
               sched.dispatch_from_blocked();
             }
           }
           // Every base parked an offer: give up the proc.
+          own->offers_done.store(true, std::memory_order_release);
           sched.dispatch_from_blocked();
         });
     p.unmask_signal(Sig::kPreempt);
+    if (immediate_base < 0) {
+      // Parked and committed by a partner: wait for the offering pass to
+      // finish with this frame before touching (or destroying) anything it
+      // still reads.  work() keeps the spin a safe point and advances the
+      // simulator clock so the offerer can run.
+      while (!own->offers_done.load(std::memory_order_acquire)) p.work(5);
+    }
     const int fired =
         immediate_base >= 0 ? immediate_base : own->fired_base;
     MPNJ_CHECK(fired >= 0, "event resumed without a committed base");
@@ -334,11 +350,15 @@ class Channel {
         w.gc_payload = false;
         rcvrs_.push_back(std::move(w));
         p.unlock(ch_lock_);
+        MPNJ_METRIC_COUNT(kCmlOffersParked, 1);
         return detail::Outcome::kBlocked;
       }
       detail::Waiter cand = std::move(sndrs_.front());
       sndrs_.pop_front();
-      if (cand.state->synched()) continue;  // dead offer: drop it
+      if (cand.state->synched()) {
+        MPNJ_METRIC_COUNT(kCmlSelectRetries, 1);
+        continue;  // dead offer: drop it
+      }
       if (!own->try_claim()) {
         // We were committed through a parked offer on another channel;
         // put the candidate back (the fix to Figure 5's dropped sender).
@@ -348,9 +368,11 @@ class Channel {
       }
       if (!cand.state->try_commit_partner(cand.base_index, p)) {
         own->retract();
+        MPNJ_METRIC_COUNT(kCmlSelectRetries, 1);
         continue;  // candidate died while we claimed; try the next one
       }
       own->commit_self(idx);
+      MPNJ_METRIC_COUNT(kCmlRecvs, 1);
       // Wake the sender with unit...
       cand.k.get()->preload(0, false);
       p.unlock(ch_lock_);
@@ -388,11 +410,15 @@ class Channel {
         }
         sndrs_.push_back(std::move(w));
         p.unlock(ch_lock_);
+        MPNJ_METRIC_COUNT(kCmlOffersParked, 1);
         return detail::Outcome::kBlocked;
       }
       detail::Waiter cand = std::move(rcvrs_.front());
       rcvrs_.pop_front();
-      if (cand.state->synched()) continue;
+      if (cand.state->synched()) {
+        MPNJ_METRIC_COUNT(kCmlSelectRetries, 1);
+        continue;
+      }
       if (!own->try_claim()) {
         rcvrs_.push_front(std::move(cand));
         p.unlock(ch_lock_);
@@ -400,9 +426,11 @@ class Channel {
       }
       if (!cand.state->try_commit_partner(cand.base_index, p)) {
         own->retract();
+        MPNJ_METRIC_COUNT(kCmlSelectRetries, 1);
         continue;
       }
       own->commit_self(idx);
+      MPNJ_METRIC_COUNT(kCmlSends, 1);
       // Deliver the value to the receiver and reschedule it (the paper's
       // reschedule_thread: converting the 'a cont + value into a resumable
       // thread is exactly preload + enqueue here).

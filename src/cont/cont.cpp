@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "arch/fiber_san.h"
 #include "arch/tas.h"
 
 namespace mp::cont {
@@ -34,6 +35,24 @@ struct AbandonUnwind {
   bool to_idle = false;
   ContRef target;  // PRELOADED continuation to resume (when !to_idle)
 };
+
+// Completes the sanitizer side of a fiber switch on arrival.  When this
+// arrival is the client side of an enter_from_idle, the bounds the sanitizer
+// reports for the stack just left are the idle loop's — record them so
+// return_to_idle can annotate the switch back.
+void san_arrive(void* fake_restore) {
+  if constexpr (arch::san::kActive) {
+    const void* prev_bottom = nullptr;
+    std::size_t prev_size = 0;
+    arch::san::switch_finish(fake_restore, &prev_bottom, &prev_size);
+    ExecContext* ex = current_exec();
+    if (ex != nullptr && ex->san_from_idle) {
+      ex->san_idle_bottom = prev_bottom;
+      ex->san_idle_size = prev_size;
+      ex->san_from_idle = false;
+    }
+  }
+}
 
 }  // namespace
 
@@ -106,7 +125,11 @@ std::uint64_t ContOps::seal_and_switch(ContRef sealed, StackSegment* fresh) {
   ex->pending_release = ex->seg;  // running reference; the core holds its own
   ex->seg = fresh;                // fresh arrives with its pool reference
   ex->root_head = nullptr;        // the body starts a fresh root chain
+  void* san_fake = nullptr;
+  arch::san::switch_begin(&san_fake, fresh->san_fiber, fresh->stack_base(),
+                          fresh->stack_size());
   arch::ctx_swap(core->ctx_, fresh->boot_ctx);
+  san_arrive(san_fake);
   // Fired: possibly executing on a different proc (or kernel thread) now.
   // Read the delivered value (and the cancel mark) before process_pending
   // drops the firing side's reference to the core.
@@ -147,6 +170,9 @@ std::uint64_t ContOps::seal_and_switch(ContRef sealed, StackSegment* fresh) {
   // Hand our reference across the switch; the resumed side drops it after
   // reading the value slot.
   ex->pending_unref = k.release();
+  // Null fake-save: this stack is abandoned, never resumed.
+  arch::san::switch_begin(nullptr, ex->seg->san_fiber, ex->seg->stack_base(),
+                          ex->seg->stack_size());
   arch::Context dead;
   arch::ctx_swap(dead, target);
   arch::panic("abandoned context was resumed");
@@ -159,17 +185,23 @@ std::uint64_t ContOps::seal_and_switch(ContRef sealed, StackSegment* fresh) {
   ex->pending_release = ex->seg;
   ex->seg = nullptr;
   ex->root_head = nullptr;
+  arch::san::switch_begin(nullptr, ex->san_idle_fiber, ex->san_idle_bottom,
+                          ex->san_idle_size);
   arch::Context dead;
   arch::ctx_swap(dead, *ex->idle_ctx);
   arch::panic("abandoned context was resumed");
 }
 
 [[noreturn]] void trampoline(void* seg_arg) {
+  san_arrive(nullptr);
   auto* seg = static_cast<StackSegment*>(seg_arg);
   ExecContext* ex = current_exec();
   ex->process_pending();
-  std::unique_ptr<BootRecord> rec(static_cast<BootRecord*>(seg->boot_record));
-  seg->boot_record = nullptr;
+  // Ownership of the boot record stays with the segment while run() is live:
+  // a frame-local owner would leak when a suspended chain is abandoned,
+  // because abandoned frames are reclaimed without unwinding.  The segment's
+  // recycle path destroys the record in that case.
+  auto* rec = static_cast<BootRecord*>(seg->boot_record);
   ContRef fire_target;
   bool to_idle = false;
   try {
@@ -181,7 +213,8 @@ std::uint64_t ContOps::seal_and_switch(ContRef sealed, StackSegment* fresh) {
   } catch (...) {
     arch::panic("uncaught C++ exception crossed a continuation boundary");
   }
-  rec.reset();
+  seg->boot_record = nullptr;
+  delete rec;
   if (to_idle) ContOps::return_to_idle();
   ContOps::resume_target(std::move(fire_target));
 }
@@ -193,6 +226,8 @@ StackSegment* boot_segment(std::unique_ptr<BootRecord> rec, ContCore* parent) {
     seg->parent_cont = keep.release();
   }
   seg->boot_record = rec.release();
+  arch::san::stack_reuse(seg->stack_base(), seg->stack_size());
+  if (seg->san_fiber == nullptr) seg->san_fiber = arch::san::fiber_create();
   arch::ctx_make(seg->boot_ctx, seg->stack_base(), seg->stack_size(),
                  &trampoline, seg);
   return seg;
@@ -233,7 +268,15 @@ void ContOps::enter_from_idle(ContRef k, ExecContext& ex) {
   ex.root_head = core->root_head_;
   arch::Context target = std::move(core->ctx_);
   ex.pending_unref = k.release();  // dropped by the resumed side
+  if constexpr (arch::san::kActive) {
+    ex.san_idle_fiber = arch::san::current_fiber();
+    ex.san_from_idle = true;
+  }
+  void* san_fake = nullptr;
+  arch::san::switch_begin(&san_fake, ex.seg->san_fiber, ex.seg->stack_base(),
+                          ex.seg->stack_size());
   arch::ctx_swap(*ex.idle_ctx, target);
+  arch::san::switch_finish(san_fake, nullptr, nullptr);
   // The client released this proc.
   ex.process_pending();
   MPNJ_CHECK(ex.seg == nullptr, "client returned to idle without releasing");

@@ -34,6 +34,17 @@ struct ExecContext {
   // loop, owned by the platform backend.
   arch::Context* idle_ctx = nullptr;
 
+  // Sanitizer identity of the idle loop's stack (arch/fiber_san.h): the
+  // TSan fiber is captured by enter_from_idle before it suspends; the ASan
+  // bounds are captured on the client side of that switch, where the
+  // sanitizer reports the bounds of the stack just left (san_from_idle
+  // marks the one arrival that should record them).  All dead weight in
+  // unsanitized builds.
+  void* san_idle_fiber = nullptr;
+  const void* san_idle_bottom = nullptr;
+  std::size_t san_idle_size = 0;
+  bool san_from_idle = false;
+
   // Drop any deferred references.  Called at every resume point (after the
   // resumed code has read the fired continuation's value slot).
   void process_pending() noexcept {

@@ -5,8 +5,10 @@
 
 #include <cstdlib>
 
+#include "arch/fiber_san.h"
 #include "arch/panic.h"
 #include "arch/tas.h"
+#include "cont/cont.h"
 
 namespace mp::cont {
 
@@ -20,21 +22,6 @@ std::size_t page_size() {
 std::size_t round_up(std::size_t n, std::size_t align) {
   return (n + align - 1) / align * align;
 }
-
-// Minimal scoped spinlock over a raw atomic word; the pool cannot use the
-// platform Lock because it sits below the platform.
-class ScopedSpin {
- public:
-  explicit ScopedSpin(std::atomic<std::uint32_t>& word) : word_(word) {
-    while (word_.exchange(1, std::memory_order_acquire) != 0) {
-      while (word_.load(std::memory_order_relaxed) != 0) arch::cpu_relax();
-    }
-  }
-  ~ScopedSpin() { word_.store(0, std::memory_order_release); }
-
- private:
-  std::atomic<std::uint32_t>& word_;
-};
 
 }  // namespace
 
@@ -83,7 +70,7 @@ StackSegment* SegmentPool::allocate_fresh() {
 StackSegment* SegmentPool::acquire() {
   StackSegment* seg = nullptr;
   {
-    ScopedSpin guard(lock_);
+    arch::TasGuard guard(lock_);
     if (free_list_ != nullptr) {
       seg = free_list_;
       free_list_ = seg->free_next_;
@@ -99,6 +86,20 @@ StackSegment* SegmentPool::acquire() {
 }
 
 void SegmentPool::recycle(StackSegment* seg) noexcept {
+  if (seg->san_fiber != nullptr) {
+    // The caller is never executing on the segment being recycled (drops on
+    // the running segment are deferred through ExecContext::pending_release),
+    // so the fiber identity can be retired here.
+    arch::san::fiber_destroy(seg->san_fiber);
+    seg->san_fiber = nullptr;
+  }
+  if (seg->boot_record != nullptr) {
+    // The segment was reclaimed before its trampoline ever ran (an unfired
+    // continuation chain being dropped); the pending boot record is ours to
+    // destroy.
+    delete static_cast<detail::BootRecord*>(seg->boot_record);
+    seg->boot_record = nullptr;
+  }
   if (seg->parent_cont != nullptr) {
     // Releasing an abandoned segment releases its parent continuation; this
     // may cascade and free an entire suspended chain.
@@ -106,13 +107,13 @@ void SegmentPool::recycle(StackSegment* seg) noexcept {
     seg->parent_cont = nullptr;
   }
   outstanding_.fetch_sub(1, std::memory_order_relaxed);
-  ScopedSpin guard(lock_);
+  arch::TasGuard guard(lock_);
   seg->free_next_ = free_list_;
   free_list_ = seg;
 }
 
 void SegmentPool::trim() {
-  ScopedSpin guard(lock_);
+  arch::TasGuard guard(lock_);
   while (free_list_ != nullptr) {
     StackSegment* seg = free_list_;
     free_list_ = seg->free_next_;

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "arch/ctx.h"
+#include "arch/tas.h"
 
 namespace mp::cont {
 
@@ -47,6 +48,10 @@ class StackSegment {
 
   // Type-erased boot record for the pending callcc body (see cont.cpp).
   void* boot_record = nullptr;
+
+  // TSan fiber identity for executions on this stack (arch/fiber_san.h);
+  // created when the segment is booted, destroyed when it is recycled.
+  void* san_fiber = nullptr;
 
   // Debug invariant: number of live *unfired* continuations sealed into this
   // segment.  More than one would mean a resumed execution could overwrite
@@ -98,7 +103,7 @@ class SegmentPool {
 
   StackSegment* allocate_fresh();
 
-  std::atomic<std::uint32_t> lock_{0};
+  arch::TasWord lock_;
   StackSegment* free_list_ = nullptr;
   std::size_t seg_size_ = 64 * 1024;
   std::atomic<std::int64_t> outstanding_{0};

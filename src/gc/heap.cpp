@@ -1,12 +1,14 @@
 #include "gc/heap.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "arch/tas.h"
 #include "cont/cont.h"
+#include "metrics/metrics.h"
 
 namespace mp::gc {
 
@@ -34,19 +36,6 @@ bool header_is_traced(std::uint64_t hdr) {
   return kind == ObjKind::kRecord || kind == ObjKind::kArray ||
          kind == ObjKind::kRef;
 }
-
-class Spin {
- public:
-  explicit Spin(std::atomic<std::uint32_t>& word) : word_(word) {
-    while (word_.exchange(1, std::memory_order_acquire) != 0) {
-      while (word_.load(std::memory_order_relaxed) != 0) arch::cpu_relax();
-    }
-  }
-  ~Spin() { word_.store(0, std::memory_order_release); }
-
- private:
-  std::atomic<std::uint32_t>& word_;
-};
 
 // RAII temp root frame used inside allocation: roots the allocation's own
 // argument values so a collection triggered by the slow path (or by another
@@ -136,7 +125,7 @@ HeapStats Heap::stats() const {
 // ----- allocation -----
 
 bool Heap::grab_chunk(ProcHeap& ph) {
-  Spin guard(chunk_lock_);
+  arch::TasGuard guard(chunk_lock_);
   if (free_chunks_.empty()) return false;
   const std::uint32_t idx = free_chunks_.back();
   free_chunks_.pop_back();
@@ -144,9 +133,13 @@ bool Heap::grab_chunk(ProcHeap& ph) {
   ph.limit = ph.alloc + chunk_words_;
   ph.chunks_since_gc++;
   stats_.chunk_grabs++;
+  MPNJ_METRIC_COUNT(kGcChunkGrabs, 1);
   const std::uint64_t fair =
       num_chunks_ / static_cast<std::size_t>(hooks_.nproc());
-  if (ph.chunks_since_gc > fair) stats_.chunk_steals++;
+  if (ph.chunks_since_gc > fair) {
+    stats_.chunk_steals++;
+    MPNJ_METRIC_COUNT(kGcChunkSteals, 1);
+  }
   return true;
 }
 
@@ -182,12 +175,13 @@ std::uint64_t* Heap::alloc_raw(ObjKind kind, std::size_t field_words,
 std::uint64_t* Heap::alloc_large(std::size_t words) {
   for (int attempt = 0; attempt < 3; attempt++) {
     {
-      Spin guard(old_lock_);
+      arch::TasGuard guard(old_lock_);
       if (static_cast<std::size_t>((old_cur_ + old_words_) - old_alloc_) >=
           words) {
         std::uint64_t* obj = old_alloc_;
         old_alloc_ += words;
         stats_.large_allocs++;
+        MPNJ_METRIC_COUNT(kGcLargeAllocs, 1);
         return obj;
       }
     }
@@ -354,7 +348,7 @@ void Heap::evacuate_roots(std::span<Value> extra_roots) {
 
   // Individually registered roots (values inside C++ containers).
   {
-    Spin guard(roots_lock_);
+    arch::TasGuard guard(roots_lock_);
     for (GlobalRoot* r = global_roots_; r != nullptr; r = r->next_) {
       forward_value(&r->value_);
     }
@@ -362,6 +356,9 @@ void Heap::evacuate_roots(std::span<Value> extra_roots) {
 }
 
 void Heap::do_collect(bool force_major, std::span<Value> extra_roots) {
+#if MPNJ_METRICS
+  const auto pause_start = std::chrono::steady_clock::now();
+#endif
   std::uint64_t copied = 0;
 
   // --- minor: evacuate the nursery into the old generation ---
@@ -384,7 +381,7 @@ void Heap::do_collect(bool force_major, std::span<Value> extra_roots) {
 
   // Reset the nursery: every chunk becomes free and every proc grabs anew.
   {
-    Spin guard(chunk_lock_);
+    arch::TasGuard guard(chunk_lock_);
     free_chunks_.clear();
     for (std::size_t i = num_chunks_; i > 0; i--) {
       free_chunks_.push_back(static_cast<std::uint32_t>(i - 1));
@@ -420,6 +417,20 @@ void Heap::do_collect(bool force_major, std::span<Value> extra_roots) {
   hooks_.charge_gc(copied);
   from_lo_ = nullptr;
   from_hi_ = nullptr;
+
+#if MPNJ_METRICS
+  // Wall-clock pause, not virtual time: the simulator charges its own model
+  // of GC cost via charge_gc; this measures what the host actually paid.
+  const auto pause_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - pause_start)
+          .count());
+  MPNJ_METRIC_COUNT(kGcMinor, 1);
+  if (need_major) MPNJ_METRIC_COUNT(kGcMajor, 1);
+  MPNJ_METRIC_COUNT(kGcWordsCopied, copied);
+  MPNJ_METRIC_COUNT(kGcPauseUsTotal, pause_us);
+  MPNJ_METRIC_RECORD(kGcPauseUs, pause_us);
+#endif
 }
 
 // ----- verification -----
@@ -492,7 +503,7 @@ bool Heap::verify(std::string* error) const {
 // ----- global roots -----
 
 void Heap::register_global_root(GlobalRoot* root) {
-  Spin guard(roots_lock_);
+  arch::TasGuard guard(roots_lock_);
   root->prev_ = nullptr;
   root->next_ = global_roots_;
   if (global_roots_ != nullptr) global_roots_->prev_ = root;
@@ -500,7 +511,7 @@ void Heap::register_global_root(GlobalRoot* root) {
 }
 
 void Heap::unregister_global_root(GlobalRoot* root) {
-  Spin guard(roots_lock_);
+  arch::TasGuard guard(roots_lock_);
   if (root->prev_ != nullptr) {
     root->prev_->next_ = root->next_;
   } else {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "arch/cacheline.h"
+#include "arch/tas.h"
 #include "gc/hooks.h"
 #include "gc/roots.h"
 #include "gc/value.h"
@@ -135,7 +136,7 @@ class Heap {
   std::size_t chunk_words_ = 0;
   std::size_t num_chunks_ = 0;
   std::vector<std::uint32_t> free_chunks_;  // stack of free chunk indices
-  std::atomic<std::uint32_t> chunk_lock_{0};
+  arch::TasWord chunk_lock_;
 
   // Old generation semispaces.
   std::uint64_t* old_a_ = nullptr;
@@ -143,7 +144,7 @@ class Heap {
   std::size_t old_words_ = 0;
   std::uint64_t* old_cur_ = nullptr;    // active semispace base
   std::uint64_t* old_alloc_ = nullptr;  // bump pointer in active semispace
-  std::atomic<std::uint32_t> old_lock_{0};  // large allocations only
+  arch::TasWord old_lock_;  // large allocations only
 
   std::vector<ProcHeap> proc_heaps_;
 
@@ -156,7 +157,7 @@ class Heap {
 
   // Global root list.
   GlobalRoot* global_roots_ = nullptr;
-  std::atomic<std::uint32_t> roots_lock_{0};
+  arch::TasWord roots_lock_;
 };
 
 }  // namespace mp::gc

@@ -1,0 +1,197 @@
+#pragma once
+
+// Runtime-wide observability (the metrics registry).
+//
+// The paper's platform keeps every interesting piece of state — thread
+// queues, locks, allocation regions — observable from the client level; this
+// module gives the reproduction the measuring instrument to match: one
+// process-wide registry of per-proc, cache-line-padded event counters and
+// log2-bucketed latency histograms, fed by the arch / gc / threads / cml
+// layers and merged on demand into an immutable Snapshot with JSON
+// serialization (what the bench binaries dump next to their timings).
+//
+// Cost model.  Each instrumentation site is a relaxed load of the global
+// enable flag plus, when enabled, relaxed fetch_adds on a slot owned by the
+// current proc (no shared cache lines on the hot path).  Building with
+// -DMPNJ_METRICS=0 (CMake option MPNJ_METRICS=OFF) compiles every site away
+// entirely, so the uninstrumented fast path is bit-identical to the seed.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "arch/cacheline.h"
+
+#ifndef MPNJ_METRICS
+#define MPNJ_METRICS 1
+#endif
+
+namespace mp::metrics {
+
+// Monotonic event counters.  One enumerator per instrumented event; names
+// (counter_name) are the keys used in the JSON snapshot.
+enum class Counter : std::uint32_t {
+  // Lock layer (arch test-and-set words and platform MutexLocks).
+  kLockAcquires,       // successful lock acquisitions
+  kLockContended,      // acquisitions that had to spin at least once
+  kLockSpinIters,      // total failed test-and-set retries while spinning
+  kLockBackoffRounds,  // exponential-backoff delays taken while spinning
+  // Heap (gc/heap.cpp).
+  kGcMinor,          // minor (nursery) collections
+  kGcMajor,          // major (semispace) collections
+  kGcPauseUsTotal,   // total stop-the-world pause, integer microseconds
+  kGcWordsCopied,    // live words copied by collections
+  kGcChunkGrabs,     // nursery chunks claimed by procs
+  kGcChunkSteals,    // chunk grabs beyond a proc's fair share (paper "steal")
+  kGcLargeAllocs,    // allocations that bypassed the nursery
+  // Thread package (threads/scheduler.cpp).
+  kSchedDispatches,  // threads resumed by a dispatch loop
+  kSchedPreempts,    // preemption signals acted upon
+  kSchedForks,       // threads forked
+  kSchedYields,      // voluntary yields
+  kSchedIdlePolls,   // empty-queue polling iterations of held procs
+  kSchedTimerFires,  // timer callbacks run
+  // CML channels (cml/cml.h).
+  kCmlSends,          // send offers committed
+  kCmlRecvs,          // receive offers committed
+  kCmlSelectRetries,  // dead/retracted candidates skipped while polling
+  kCmlOffersParked,   // offers parked on a channel queue
+  // Scheduling-event tracer (threads/trace.h).
+  kTraceDropped,  // trace events overwritten in the ring buffer
+  kNumCounters,
+};
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kNumCounters);
+const char* counter_name(Counter c);
+
+// Log2-bucketed histograms: bucket 0 holds the value 0, bucket i >= 1 holds
+// values in [2^(i-1), 2^i).  Cheap to record (a bit-width computation), wide
+// enough for anything from spin iterations to pause times in microseconds.
+enum class Histo : std::uint32_t {
+  kGcPauseUs,      // stop-the-world pause per collection (wall microseconds)
+  kLockSpinIters,  // spin iterations per contended acquisition
+  kRunQueueDepth,  // ready-queue length observed at each dispatch
+  kNumHistos,
+};
+inline constexpr std::size_t kNumHistos =
+    static_cast<std::size_t>(Histo::kNumHistos);
+const char* histo_name(Histo h);
+
+inline constexpr std::size_t kNumBuckets = 32;
+
+inline std::size_t bucket_of(std::uint64_t value) {
+  if (value == 0) return 0;
+  std::size_t b = 64 - static_cast<std::size_t>(__builtin_clzll(value));
+  return b < kNumBuckets ? b : kNumBuckets - 1;
+}
+
+struct HistoSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kNumBuckets> buckets{};
+
+  friend bool operator==(const HistoSnapshot&, const HistoSnapshot&) = default;
+};
+
+// A merged, immutable view of the registry: per-proc slots summed at call
+// time (exactly how Heap::stats() merges its per-proc counters).
+struct Snapshot {
+  std::array<std::uint64_t, kNumCounters> counters{};
+  std::array<HistoSnapshot, kNumHistos> histos{};
+
+  std::uint64_t counter(Counter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  const HistoSnapshot& histo(Histo h) const {
+    return histos[static_cast<std::size_t>(h)];
+  }
+
+  // {"counters":{...},"histograms":{name:{"count":..,"sum":..,"buckets":[..]}}}
+  std::string to_json() const;
+  // Parses exactly the shape to_json emits (unknown names are ignored so
+  // snapshots survive counter additions).  Returns false on malformed input.
+  static bool from_json(const std::string& text, Snapshot* out);
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+// The registry proper.  Increments land in one of kMaxSlots cache-line-
+// padded slots; the executing proc's slot is named by a thread-local set
+// with bind_slot (platform backends bind proc id; the simulator re-binds on
+// every virtual-proc switch).  Threads that never bind — benchmark harness
+// threads, tests — lazily take a distinct slot, so concurrent increments
+// never contend on one line either way.
+class Registry {
+ public:
+  static constexpr std::size_t kMaxSlots = 64;
+
+  Registry();
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Names the slot used by the calling OS thread (wrapped modulo kMaxSlots).
+  static void bind_slot(int slot);
+  static void unbind_slot();
+
+  void count(Counter c, std::uint64_t n = 1) {
+    if (!enabled()) return;
+    slot().counters[static_cast<std::size_t>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  void record(Histo h, std::uint64_t value) {
+    if (!enabled()) return;
+    Slot& s = slot();
+    const auto i = static_cast<std::size_t>(h);
+    s.histo_buckets[i][bucket_of(value)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+    s.histo_sum[i].fetch_add(value, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  struct alignas(arch::kCacheLine) Slot {
+    std::atomic<std::uint64_t> counters[kNumCounters];
+    std::atomic<std::uint64_t> histo_buckets[kNumHistos][kNumBuckets];
+    std::atomic<std::uint64_t> histo_sum[kNumHistos];
+  };
+
+  Slot& slot();
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint32_t> next_slot_{0};
+  std::array<Slot, kMaxSlots> slots_{};
+};
+
+// The process-wide registry every instrumentation site feeds.
+Registry& registry();
+
+// Inline front doors used by the MPNJ_METRIC_* macros.
+inline void count_event(Counter c, std::uint64_t n = 1) {
+  registry().count(c, n);
+}
+inline void record_value(Histo h, std::uint64_t value) {
+  registry().record(h, value);
+}
+
+}  // namespace mp::metrics
+
+// Instrumentation macros: compiled away entirely under -DMPNJ_METRICS=0 so
+// the uninstrumented fast path is unchanged.
+#if MPNJ_METRICS
+#define MPNJ_METRIC_COUNT(c, n) \
+  ::mp::metrics::count_event(::mp::metrics::Counter::c, (n))
+#define MPNJ_METRIC_RECORD(h, v) \
+  ::mp::metrics::record_value(::mp::metrics::Histo::h, (v))
+#else
+#define MPNJ_METRIC_COUNT(c, n) ((void)0)
+#define MPNJ_METRIC_RECORD(h, v) ((void)0)
+#endif

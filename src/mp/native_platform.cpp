@@ -4,6 +4,7 @@
 
 #include "arch/panic.h"
 #include "arch/tas.h"
+#include "metrics/metrics.h"
 
 namespace mp {
 
@@ -77,6 +78,7 @@ int NativePlatform::active_procs() const {
 void NativePlatform::proc_loop(NProc& p) {
   tl_proc = &p;
   cont::set_current_exec(&p.exec);
+  metrics::Registry::bind_slot(p.id);
   for (;;) {
     cont::ContRef k;
     {
@@ -185,23 +187,34 @@ bool NativePlatform::try_lock(const MutexLock& l) {
 
 void NativePlatform::lock(const MutexLock& l) {
   NativeLockCell& cell = cell_of(l);
-  if (cell.word.test_and_set()) return;
+  if (cell.word.test_and_set()) {
+    MPNJ_METRIC_COUNT(kLockAcquires, 1);
+    return;
+  }
   // The paper includes lock in the interface precisely so systems can spin
   // smarter than the naive loop; spin with optional exponential backoff
   // (Anderson) and keep hitting safe points so we park for collections.
   double backoff_us = cfg_.lock_backoff_base_us;
-  int iters = 0;
+  std::uint64_t iters = 0;
+  std::uint64_t backoff_rounds = 0;
   for (;;) {
     arch::cpu_relax();
-    if (cell.word.test_and_set()) return;
-    if (++iters % 64 == 0) safe_point();
+    ++iters;
+    if (cell.word.test_and_set()) break;
+    if (iters % 64 == 0) safe_point();
     if (cfg_.lock_backoff_base_us > 0) {
       const auto until = std::chrono::steady_clock::now() +
                          std::chrono::duration<double, std::micro>(backoff_us);
       while (std::chrono::steady_clock::now() < until) arch::cpu_relax();
       backoff_us = std::min(backoff_us * 2, 1000.0);
+      ++backoff_rounds;
     }
   }
+  MPNJ_METRIC_COUNT(kLockAcquires, 1);
+  MPNJ_METRIC_COUNT(kLockContended, 1);
+  MPNJ_METRIC_COUNT(kLockSpinIters, iters);
+  MPNJ_METRIC_COUNT(kLockBackoffRounds, backoff_rounds);
+  MPNJ_METRIC_RECORD(kLockSpinIters, iters);
 }
 
 void NativePlatform::unlock(const MutexLock& l) { cell_of(l).word.clear(); }

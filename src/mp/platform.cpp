@@ -6,19 +6,6 @@ namespace mp {
 
 namespace {
 
-class Spin {
- public:
-  explicit Spin(std::atomic<std::uint32_t>& word) : word_(word) {
-    while (word_.exchange(1, std::memory_order_acquire) != 0) {
-      while (word_.load(std::memory_order_relaxed) != 0) arch::cpu_relax();
-    }
-  }
-  ~Spin() { word_.store(0, std::memory_order_release); }
-
- private:
-  std::atomic<std::uint32_t>& word_;
-};
-
 std::uint32_t sig_bit(Sig s) { return 1u << static_cast<int>(s); }
 
 }  // namespace
@@ -43,7 +30,7 @@ void Platform::release_proc() {
 }
 
 void Platform::set_signal_handler(Sig s, std::function<void()> handler) {
-  Spin guard(handler_lock_);
+  arch::TasGuard guard(handler_lock_);
   handlers_[static_cast<int>(s)] = std::move(handler);
 }
 
@@ -74,7 +61,7 @@ void Platform::deliver_pending_signals(ProcRec& p) {
     p.sig_pending.fetch_and(~(1u << s), std::memory_order_acq_rel);
     std::function<void()> handler;
     {
-      Spin guard(handler_lock_);
+      arch::TasGuard guard(handler_lock_);
       handler = handlers_[s];
     }
     // The handler runs on the interrupted thread's stack, exactly like a

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "arch/rng.h"
+#include "arch/tas.h"
 #include "cont/cont.h"
 #include "gc/heap.h"
 #include "gc/hooks.h"
@@ -188,7 +189,7 @@ class Platform : public gc::CollectorHooks {
 
  private:
   std::function<void()> handlers_[kNumSignals];
-  std::atomic<std::uint32_t> handler_lock_{0};
+  arch::TasWord handler_lock_;
   std::unique_ptr<gc::Heap> heap_;
 };
 

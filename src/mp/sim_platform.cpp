@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "arch/panic.h"
+#include "metrics/metrics.h"
 
 namespace mp {
 
@@ -30,6 +31,9 @@ SimPlatform::SimPlatform(SimPlatformConfig config) : cfg_(std::move(config)) {
   }
   engine_->set_resume_hook([this](int id) {
     cont::set_current_exec(&procs_[static_cast<std::size_t>(id)]->exec);
+    // All simulated procs share one OS thread; rebinding the metrics slot at
+    // every resume keeps per-proc attribution anyway.
+    metrics::Registry::bind_slot(id);
   });
   engine_->set_timer_hook([this](int id) { on_timer(id); });
   init_heap(cfg_.heap);
@@ -143,9 +147,13 @@ bool SimPlatform::raw_try_lock(const MutexLock& l) {
 bool SimPlatform::try_lock(const MutexLock& l) { return raw_try_lock(l); }
 
 void SimPlatform::lock(const MutexLock& l) {
-  if (raw_try_lock(l)) return;
+  if (raw_try_lock(l)) {
+    MPNJ_METRIC_COUNT(kLockAcquires, 1);
+    return;
+  }
   const double spin_from = engine_->now();
   std::uint64_t iters = 0;
+  std::uint64_t backoff_rounds = 0;
   double backoff = cfg_.lock_backoff_base_us;
   for (;;) {
     iters++;
@@ -156,10 +164,16 @@ void SimPlatform::lock(const MutexLock& l) {
     if (cfg_.lock_backoff_base_us > 0) {
       engine_->charge_us(backoff);
       backoff = std::min(backoff * 2, 1000.0);
+      backoff_rounds++;
     }
     if (raw_try_lock(l)) break;
   }
   engine_->note_spin(engine_->now() - spin_from, iters);
+  MPNJ_METRIC_COUNT(kLockAcquires, 1);
+  MPNJ_METRIC_COUNT(kLockContended, 1);
+  MPNJ_METRIC_COUNT(kLockSpinIters, iters);
+  MPNJ_METRIC_COUNT(kLockBackoffRounds, backoff_rounds);
+  MPNJ_METRIC_RECORD(kLockSpinIters, iters);
 }
 
 void SimPlatform::unlock(const MutexLock& l) {

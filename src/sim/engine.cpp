@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arch/fiber_san.h"
 #include "arch/panic.h"
 
 namespace mp::sim {
@@ -63,6 +64,15 @@ void Engine::arm_hook(int id, double at_us) {
 
 void Engine::fiber_entry(void* arg) {
   auto* boot = static_cast<FiberBoot*>(arg);
+  if constexpr (arch::san::kActive) {
+    // Every first arrival on a proc fiber comes from the engine loop, so the
+    // previous-stack bounds the sanitizer reports here are the engine's.
+    const void* prev_bottom = nullptr;
+    std::size_t prev_size = 0;
+    arch::san::switch_finish(nullptr, &prev_bottom, &prev_size);
+    boot->engine->san_engine_bottom_ = prev_bottom;
+    boot->engine->san_engine_size_ = prev_size;
+  }
   const int id = boot->id;
   auto* main = boot->main;
   delete boot;
@@ -75,6 +85,12 @@ void Engine::resume(int id) {
   if (p.state == PState::kUnstarted || p.fiber_seg == nullptr) {
     p.fiber_seg = cont::SegmentPool::instance().acquire();
     auto* boot = new FiberBoot{this, id, &proc_main_};
+    arch::san::stack_reuse(p.fiber_seg->stack_base(),
+                           p.fiber_seg->stack_size());
+    p.fiber_seg->san_fiber = arch::san::fiber_create();
+    p.san_fiber = p.fiber_seg->san_fiber;
+    p.san_bottom = p.fiber_seg->stack_base();
+    p.san_size = p.fiber_seg->stack_size();
     arch::ctx_make(p.resume_ctx, p.fiber_seg->stack_base(),
                    p.fiber_seg->stack_size(), &fiber_entry, boot);
   }
@@ -82,7 +98,18 @@ void Engine::resume(int id) {
   p.stats.switches++;
   cur_ = id;
   if (resume_hook_) resume_hook_(id);
+  void* san_fake = nullptr;
+  arch::san::switch_begin(&san_fake, p.san_fiber, p.san_bottom, p.san_size);
   arch::ctx_swap(engine_ctx_, p.resume_ctx);
+  if constexpr (arch::san::kActive) {
+    // The proc suspended somewhere (possibly on a client segment it switched
+    // to since); remember that stack's bounds for the next resume.
+    const void* prev_bottom = nullptr;
+    std::size_t prev_size = 0;
+    arch::san::switch_finish(san_fake, &prev_bottom, &prev_size);
+    p.san_bottom = prev_bottom;
+    p.san_size = prev_size;
+  }
   cur_ = -1;
 }
 
@@ -121,6 +148,9 @@ int Engine::pick_next() const {
 void Engine::run() {
   MPNJ_CHECK(!running_, "engine re-entered");
   running_ = true;
+  if constexpr (arch::san::kActive) {
+    san_engine_fiber_ = arch::san::current_fiber();
+  }
   for (;;) {
     int next = pick_next();
     if (next < 0) break;
@@ -133,7 +163,14 @@ void Engine::run() {
 
 void Engine::switch_to_engine() {
   VProc& p = cur_proc();
+  if constexpr (arch::san::kActive) {
+    p.san_fiber = arch::san::current_fiber();
+  }
+  void* san_fake = nullptr;
+  arch::san::switch_begin(&san_fake, san_engine_fiber_, san_engine_bottom_,
+                          san_engine_size_);
   arch::ctx_swap(p.resume_ctx, engine_ctx_);
+  arch::san::switch_finish(san_fake, nullptr, nullptr);
 }
 
 void Engine::maybe_yield() {

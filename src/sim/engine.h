@@ -120,6 +120,13 @@ class Engine {
     cont::StackSegment* fiber_seg = nullptr;
     ProcStats stats;
     arch::Rng rng;
+    // Sanitizer identity of the stack resume_ctx points into (which is the
+    // fiber_seg only until the first client-level context switch): the TSan
+    // fiber is recorded by the suspending side, the ASan bounds by the
+    // engine when the suspension reaches it.  Unused in unsanitized builds.
+    void* san_fiber = nullptr;
+    const void* san_bottom = nullptr;
+    std::size_t san_size = 0;
   };
 
   static void fiber_entry(void* arg);
@@ -141,6 +148,12 @@ class Engine {
   BusStats bus_;
   double bus_free_at_ = 0;
   bool running_ = false;
+  // Sanitizer identity of the engine's own (host-thread) stack; the fiber is
+  // captured when run() starts, the ASan bounds on the first arrival at a
+  // proc fiber's entry point.  Unused in unsanitized builds.
+  void* san_engine_fiber_ = nullptr;
+  const void* san_engine_bottom_ = nullptr;
+  std::size_t san_engine_size_ = 0;
 };
 
 }  // namespace mp::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "arch/panic.h"
+#include "metrics/metrics.h"
 
 namespace mp::threads {
 
@@ -46,6 +47,14 @@ void Scheduler::dispatch() {
       run_expired_timers();
     }
     if (auto t = queue_->deq(plat_)) {
+#if MPNJ_METRICS
+      const long depth = ready_count_.fetch_sub(1, std::memory_order_relaxed);
+      MPNJ_METRIC_COUNT(kSchedDispatches, 1);
+      // Depth as observed before this dequeue (clamped: enq/deq races can
+      // transiently drive the mirror below the true size).
+      MPNJ_METRIC_RECORD(kRunQueueDepth,
+                         depth > 0 ? static_cast<std::uint64_t>(depth) : 0);
+#endif
       plat_.end_idle_poll();
       plat_.set_datum(static_cast<Datum>(t->id));
       if (cfg_.tracer) {
@@ -61,6 +70,7 @@ void Scheduler::dispatch() {
       plat_.unmask_signal(Sig::kPreempt);
       plat_.release_proc();
     }
+    MPNJ_METRIC_COUNT(kSchedIdlePolls, 1);
     plat_.begin_idle_poll();
     plat_.work(cfg_.costs.poll_instr);
   }
@@ -69,6 +79,7 @@ void Scheduler::dispatch() {
 void Scheduler::fork(std::function<void()> child) {
   plat_.work(cfg_.costs.fork_instr);
   plat_.mask_signal(Sig::kPreempt);
+  MPNJ_METRIC_COUNT(kSchedForks, 1);
   live_.fetch_add(1, std::memory_order_acq_rel);
   callcc<Unit>(
       [this, child = std::move(child)](Cont<Unit> parent) mutable -> Unit {
@@ -102,6 +113,7 @@ void Scheduler::fork(std::function<void()> child) {
 void Scheduler::yield() {
   plat_.work(cfg_.costs.yield_instr);
   plat_.mask_signal(Sig::kPreempt);
+  MPNJ_METRIC_COUNT(kSchedYields, 1);
   if (cfg_.tracer) {
     cfg_.tracer->record(plat_, TraceKind::kYield,
                         static_cast<int>(plat_.get_datum()));
@@ -138,7 +150,12 @@ void Scheduler::suspend(const std::function<void(ThreadState)>& park) {
   });
 }
 
-void Scheduler::reschedule(ThreadState t) { queue_->enq(plat_, std::move(t)); }
+void Scheduler::reschedule(ThreadState t) {
+#if MPNJ_METRICS
+  ready_count_.fetch_add(1, std::memory_order_relaxed);
+#endif
+  queue_->enq(plat_, std::move(t));
+}
 
 void Scheduler::cancel(ThreadState t) {
   MPNJ_CHECK(t.id != 0, "the root thread cannot be cancelled");
@@ -183,6 +200,7 @@ void Scheduler::run_expired_timers() {
                            : timers_.front().deadline,
                        std::memory_order_release);
   plat_.unlock(timer_lock_);
+  MPNJ_METRIC_COUNT(kSchedTimerFires, due.size());
   for (auto& fn : due) fn();
 }
 
@@ -202,6 +220,7 @@ void Scheduler::sleep_for(double us) { sleep_until(plat_.now_us() + us); }
 
 void Scheduler::on_preempt() {
   if (shutdown_.load(std::memory_order_acquire)) return;
+  MPNJ_METRIC_COUNT(kSchedPreempts, 1);
   if (cfg_.tracer) {
     cfg_.tracer->record(plat_, TraceKind::kPreempt,
                         static_cast<int>(plat_.get_datum()));

@@ -130,6 +130,11 @@ class Scheduler {
   std::vector<Timer> timers_;  // min-heap by deadline
   std::atomic<double> next_deadline_{
       std::numeric_limits<double>::infinity()};
+
+  // Ready-thread count mirrored outside the queue (the queues' own sizes are
+  // lock-protected and differ per discipline); feeds the run-queue-depth
+  // histogram at dispatch.  Only touched in instrumented builds.
+  std::atomic<long> ready_count_{0};
 };
 
 }  // namespace mp::threads

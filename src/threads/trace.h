@@ -1,11 +1,11 @@
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "arch/tas.h"
+#include "metrics/metrics.h"
 #include "mp/platform.h"
 
 // Scheduling-event tracing.  The paper's platform "has been used ... as a
@@ -42,8 +42,18 @@ struct TraceEvent {
   }
 };
 
+// Bounded trace recorder.  The buffer is a ring sized up front, so record
+// never allocates while other procs spin on the trace lock (an unbounded
+// vector's realloc under that spin lock made every proc pay for one proc's
+// growth — and could starve the simulator's determinism checks).  When the
+// ring wraps, the oldest events are overwritten and counted as dropped.
 class Tracer {
  public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity)
+      : ring_(capacity > 0 ? capacity : 1) {}
+
   void record(Platform& p, TraceKind kind, int thread, int arg = 0) {
     TraceEvent e;
     e.t = p.now_us();
@@ -51,19 +61,29 @@ class Tracer {
     e.thread = thread;
     e.kind = kind;
     e.arg = arg;
-    while (lock_.exchange(1, std::memory_order_acquire) != 0) {
-      arch::cpu_relax();
+    bool dropped = false;
+    {
+      arch::TasGuard guard(lock_);
+      ring_[(head_ + size_) % ring_.size()] = e;
+      if (size_ < ring_.size()) {
+        size_++;
+      } else {
+        head_ = (head_ + 1) % ring_.size();  // overwrote the oldest event
+        dropped_++;
+        dropped = true;
+      }
     }
-    events_.push_back(e);
-    lock_.store(0, std::memory_order_release);
+    if (dropped) MPNJ_METRIC_COUNT(kTraceDropped, 1);
   }
 
+  // The retained events, oldest first.
   std::vector<TraceEvent> snapshot() const {
-    while (lock_.exchange(1, std::memory_order_acquire) != 0) {
-      arch::cpu_relax();
+    arch::TasGuard guard(lock_);
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; i++) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
     }
-    std::vector<TraceEvent> out = events_;
-    lock_.store(0, std::memory_order_release);
     return out;
   }
 
@@ -75,14 +95,28 @@ class Tracer {
     return n;
   }
 
-  std::size_t size() const { return snapshot().size(); }
+  std::size_t size() const {
+    arch::TasGuard guard(lock_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+
+  // Events lost to ring wrap-around since construction.
+  std::uint64_t dropped() const {
+    arch::TasGuard guard(lock_);
+    return dropped_;
+  }
 
   // Human-readable dump (debugging aid).
   std::string format() const;
 
  private:
-  mutable std::atomic<std::uint32_t> lock_{0};
-  std::vector<TraceEvent> events_;
+  mutable arch::TasWord lock_;
+  std::vector<TraceEvent> ring_;  // fixed size after construction
+  std::size_t head_ = 0;          // index of the oldest retained event
+  std::size_t size_ = 0;          // retained events (<= ring_.size())
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace mp::threads

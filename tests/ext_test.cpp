@@ -178,13 +178,24 @@ TEST_P(ExtTest, SleepForAdvancesClock) {
 TEST_P(ExtTest, TimerCallbacksFireInDeadlineOrder) {
   auto p = make_platform(GetParam(), 2);
   std::vector<int> order;
+  // Completion is signalled *after* each callback's unlock: the root lambda
+  // destroys the mutex when it returns, so it must not race a callback that
+  // has published its entry but is still releasing the lock.
+  std::atomic<int> fired{0};
   Scheduler::run(*p, {}, [&](Scheduler& s) {
     const double t0 = s.platform().now_us();
     mp::threads::Mutex m(s);
-    s.at(t0 + 3000, [&] { m.lock(); order.push_back(3); m.unlock(); });
-    s.at(t0 + 1000, [&] { m.lock(); order.push_back(1); m.unlock(); });
-    s.at(t0 + 2000, [&] { m.lock(); order.push_back(2); m.unlock(); });
-    while (order.size() < 3 && s.platform().now_us() < t0 + 5e6) {
+    const auto cb = [&](int n) {
+      m.lock();
+      order.push_back(n);
+      m.unlock();
+      fired.fetch_add(1, std::memory_order_release);
+    };
+    s.at(t0 + 3000, [&, cb] { cb(3); });
+    s.at(t0 + 1000, [&, cb] { cb(1); });
+    s.at(t0 + 2000, [&, cb] { cb(2); });
+    while (fired.load(std::memory_order_acquire) < 3 &&
+           s.platform().now_us() < t0 + 5e6) {
       s.platform().work(100);
       s.yield();
     }

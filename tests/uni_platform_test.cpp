@@ -134,6 +134,9 @@ TEST(UniPlatform, SelectAndTimeoutsWork) {
   UniPlatform p;
   int got = 0;
   bool timed_out = false;
+  // Outlives the root lambda: the polling thread below may still be running
+  // (inside Scheduler::run's drain loop) after the lambda's frame is gone.
+  std::atomic<bool> stop{false};
   Scheduler::run(p, {}, [&](Scheduler& s) {
     mp::cml::Channel<int> a(s), b(s);
     s.fork([&] { b.send(5); });
@@ -141,7 +144,6 @@ TEST(UniPlatform, SelectAndTimeoutsWork) {
     got = mp::cml::select_receive<int>({&a, &b});
     // And a timeout on a silent channel (requires an active polling thread
     // for the scheduler's timer).
-    std::atomic<bool> stop{false};
     s.fork([&] {
       while (!stop.load()) s.yield();
     });
