@@ -1,0 +1,18 @@
+#include "arch/sysio.h"
+
+#include <system_error>
+
+#include "metrics/metrics.h"
+
+namespace mp::arch {
+
+SysError::SysError(const char* op, int err) : op_(op), err_(err) {
+  msg_ = std::string(op) + ": " + std::generic_category().message(err) +
+         " (errno " + std::to_string(err) + ")";
+}
+
+void raise_errno(const char* op, int err) { throw SysError(op, err); }
+
+void note_eintr_retry() { MPNJ_METRIC_COUNT(kIoEintrRetries, 1); }
+
+}  // namespace mp::arch

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cerrno>
+#include <exception>
+#include <string>
+
+// Raw-syscall discipline for the runtime (native platform backends and the
+// src/io reactor): every direct POSIX call goes through retry_eintr so an
+// interrupted call is transparently restarted, and every unrecoverable
+// failure is mapped onto one exception type carrying the errno, instead of
+// each call site improvising its own error handling.
+
+namespace mp::arch {
+
+// An OS-level I/O failure: the operation that failed plus its errno,
+// rendered into a stable human-readable message.
+class SysError : public std::exception {
+ public:
+  SysError(const char* op, int err);
+  int code() const noexcept { return err_; }
+  const char* op() const noexcept { return op_; }
+  const char* what() const noexcept override { return msg_.c_str(); }
+
+ private:
+  const char* op_;  // static string naming the syscall / operation
+  int err_;
+  std::string msg_;
+};
+
+[[noreturn]] void raise_errno(const char* op, int err);
+
+// Metrics hook (kIoEintrRetries); out of line so this header stays light.
+void note_eintr_retry();
+
+// Repeat `f` (a raw syscall wrapper returning -1/errno on failure) until it
+// stops failing with EINTR.  Returns f's final result with errno intact.
+template <typename F>
+auto retry_eintr(F&& f) -> decltype(f()) {
+  for (;;) {
+    auto r = f();
+    if (r >= 0 || errno != EINTR) return r;
+    note_eintr_retry();
+  }
+}
+
+// retry_eintr + errno-to-exception mapping: throws SysError on any residual
+// failure, otherwise returns the syscall's non-negative result.
+template <typename F>
+auto check_sys(const char* op, F&& f) -> decltype(f()) {
+  auto r = retry_eintr(std::forward<F>(f));
+  if (r < 0) raise_errno(op, errno);
+  return r;
+}
+
+}  // namespace mp::arch

@@ -173,6 +173,26 @@ class Event {
     return e;
   }
 
+  // Extension point for external event sources (the src/io reactor): build
+  // an event from one raw base.  `attempt` follows the contract of the
+  // channel attempts above — poll once under your own locks, then commit
+  // against `own` (commit_self for the immediate case), park an offer whose
+  // eventual committer uses try_commit_partner + preload + reschedule, or
+  // report kDead; it must release any lock it takes before returning.
+  // `convert` maps the committed raw payload to the event's result.
+  using AttemptFn = std::function<detail::Outcome(
+      threads::Scheduler&, const std::shared_ptr<detail::EventState>&, int,
+      int, const cont::ContRef&, std::uint64_t*)>;
+  static Event primitive(AttemptFn attempt,
+                         std::function<T(std::uint64_t)> convert) {
+    Event e;
+    Base b;
+    b.attempt = std::move(attempt);
+    b.convert = std::move(convert);
+    e.bases_.push_back(std::move(b));
+    return e;
+  }
+
   // Post-process the result (CML's wrap combinator).
   template <typename U>
   Event<U> wrap(std::function<U(T)> f) && {

@@ -13,15 +13,19 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "gc_pause_us_total",  "gc_words_copied",  "gc_chunk_grabs",
     "gc_chunk_steals",    "gc_large_allocs",  "sched_dispatches",
     "sched_preempts",     "sched_forks",      "sched_yields",
-    "sched_idle_polls",   "sched_timer_fires", "cml_sends",
-    "cml_recvs",          "cml_select_retries", "cml_offers_parked",
-    "trace_dropped",
+    "sched_idle_polls",   "sched_timer_fires", "sched_idle_backoff",
+    "cml_sends",          "cml_recvs",        "cml_select_retries",
+    "cml_offers_parked",  "io_wakeups",       "io_dispatch_batches",
+    "io_parked",          "io_notifies",      "io_eintr_retries",
+    "io_bytes_read",      "io_bytes_written", "trace_dropped",
 };
 
 constexpr const char* kHistoNames[kNumHistos] = {
     "gc_pause_us",
     "lock_spin_iters",
     "run_queue_depth",
+    "io_wait_us",
+    "io_batch_wakeups",
 };
 
 // Slot index for the calling thread; < 0 until bound or lazily assigned.

@@ -52,11 +52,20 @@ enum class Counter : std::uint32_t {
   kSchedYields,      // voluntary yields
   kSchedIdlePolls,   // empty-queue polling iterations of held procs
   kSchedTimerFires,  // timer callbacks run
+  kSchedIdleBackoff,  // bounded-backoff waits taken by idle dispatch loops
   // CML channels (cml/cml.h).
   kCmlSends,          // send offers committed
   kCmlRecvs,          // receive offers committed
   kCmlSelectRetries,  // dead/retracted candidates skipped while polling
   kCmlOffersParked,   // offers parked on a channel queue
+  // I/O reactor (io/reactor.h, io/stream.h, arch/sysio.h).
+  kIoWakeups,          // waiters (threads / event offers) woken by readiness
+  kIoDispatchBatches,  // reactor dispatch passes that woke at least one waiter
+  kIoParked,           // waiters parked against fd / pipe readiness
+  kIoNotifies,         // cross-thread reactor wakeup kicks delivered
+  kIoEintrRetries,     // raw syscalls transparently restarted after EINTR
+  kIoBytesRead,        // payload bytes moved by stream reads
+  kIoBytesWritten,     // payload bytes moved by stream writes
   // Scheduling-event tracer (threads/trace.h).
   kTraceDropped,  // trace events overwritten in the ring buffer
   kNumCounters,
@@ -72,6 +81,8 @@ enum class Histo : std::uint32_t {
   kGcPauseUs,      // stop-the-world pause per collection (wall microseconds)
   kLockSpinIters,  // spin iterations per contended acquisition
   kRunQueueDepth,  // ready-queue length observed at each dispatch
+  kIoWaitUs,       // parked time per woken I/O waiter (microseconds)
+  kIoBatchWakeups,  // waiters woken per non-empty reactor dispatch pass
   kNumHistos,
 };
 inline constexpr std::size_t kNumHistos =

@@ -1,8 +1,11 @@
 #include "mp/native_platform.h"
 
+#include <ctime>
+
 #include <algorithm>
 
 #include "arch/panic.h"
+#include "arch/sysio.h"
 #include "arch/tas.h"
 #include "metrics/metrics.h"
 
@@ -241,6 +244,18 @@ void NativePlatform::safe_point() {
   deliver_pending_signals(p);
 }
 
+void NativePlatform::idle_wait(double max_us) {
+  safe_point();
+  if (max_us <= 0) return;
+  // A sleeping proc has no safe points until it wakes, so the bound the
+  // caller picked is also the worst case it adds to a stop-the-world.
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(max_us / 1e6);
+  ts.tv_nsec = static_cast<long>((max_us - static_cast<double>(ts.tv_sec) * 1e6) * 1e3);
+  arch::retry_eintr([&] { return ::nanosleep(&ts, &ts); });
+  safe_point();
+}
+
 arch::Rng& NativePlatform::rng() {
   return static_cast<NProc&>(self()).prng;
 }
@@ -276,6 +291,8 @@ void NativePlatform::stop_world() {
   NProc& me = static_cast<NProc&>(self());
   collector_.store(me.id, std::memory_order_release);
   world_stop_.store(true, std::memory_order_release);
+  // Interrupt any proc blocked in the I/O reactor so it parks promptly.
+  run_wake_hook();
   std::unique_lock<std::mutex> lk(gc_mutex_);
   gc_cv_.wait(lk, [&] {
     for (const auto& p : procs_) {

@@ -41,6 +41,7 @@ class NativePlatform final : public Platform {
   void work(double instructions) override;
   double now_us() override;
   void safe_point() override;
+  void idle_wait(double max_us) override;
   arch::Rng& rng() override;
   void set_preempt_interval(double us) override;
 

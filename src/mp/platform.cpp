@@ -50,6 +50,20 @@ void Platform::post_signal(Sig s) {
   // All procs share the handler table and all procs receive each delivered
   // signal (paper section 3.4); each consumes it at its next safe point.
   for_each_proc([&](ProcRec& p) { post_signal_to(p, s); });
+  // A proc blocked in the I/O reactor's OS wait has no safe points until it
+  // returns; kick it so the signal is consumed promptly.
+  run_wake_hook();
+}
+
+void Platform::set_wake_hook(std::function<void()> hook) {
+  wake_hook_.store(
+      hook ? std::make_shared<const std::function<void()>>(std::move(hook))
+           : nullptr,
+      std::memory_order_release);
+}
+
+void Platform::run_wake_hook() {
+  if (auto hook = wake_hook_.load(std::memory_order_acquire)) (*hook)();
 }
 
 void Platform::deliver_pending_signals(ProcRec& p) {

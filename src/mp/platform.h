@@ -141,6 +141,15 @@ class Platform : public gc::CollectorHooks {
   // reports idle rates; native backend ignores the hint).
   virtual void begin_idle_poll() {}
   virtual void end_idle_poll() {}
+  // Bounded cheap wait used by an idle proc that has nothing to run:
+  // on native backends the proc sleeps (instead of burning a processor
+  // spinning), on the simulator virtual time advances by `max_us`.  Both
+  // ends are safe points, and callers must keep `max_us` small enough that
+  // a waiting proc stays responsive to collections and posted signals.
+  virtual void idle_wait(double max_us) {
+    (void)max_us;
+    safe_point();
+  }
   // Deterministic per-proc random stream (scheduling decisions, workloads).
   virtual arch::Rng& rng() = 0;
 
@@ -152,6 +161,14 @@ class Platform : public gc::CollectorHooks {
   bool signal_masked(Sig s);
   // Deliver `s` to every proc at its next safe point.
   void post_signal(Sig s);
+  // Hook run whenever the platform needs every proc to reach a safe point
+  // promptly: after posting a signal, and (on native backends) when a
+  // collector begins stopping the world.  The I/O reactor installs a
+  // callback here that interrupts its blocking OS wait, so a proc parked in
+  // the kernel never stalls preemption or a stop-the-world.  May be invoked
+  // from non-proc threads (the preemption ticker); the hook must therefore
+  // be async-thread-safe and must not take platform locks.
+  void set_wake_hook(std::function<void()> hook);
   // Enable preemption: kPreempt is posted to each proc every `us` of its
   // execution (0 disables).  The thread package installs a yield handler.
   virtual void set_preempt_interval(double us) = 0;
@@ -184,12 +201,16 @@ class Platform : public gc::CollectorHooks {
   // backends at safe points.
   void deliver_pending_signals(ProcRec& p);
   void post_signal_to(ProcRec& p, Sig s);
+  // Invoke the registered wake hook, if any (backends call this from
+  // stop_world so reactor-parked procs reach their GC safe point).
+  void run_wake_hook();
 
   std::atomic<bool> done_{false};
 
  private:
   std::function<void()> handlers_[kNumSignals];
   arch::TasWord handler_lock_;
+  std::atomic<std::shared_ptr<const std::function<void()>>> wake_hook_;
   std::unique_ptr<gc::Heap> heap_;
 };
 

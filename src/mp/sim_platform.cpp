@@ -208,6 +208,14 @@ void SimPlatform::begin_idle_poll() {
   }
 }
 
+void SimPlatform::idle_wait(double max_us) {
+  // The simulated analogue of sleeping: virtual time advances without
+  // instructions retiring.  Deterministic, and accounted as idle time when
+  // bracketed by begin/end_idle_poll (which the scheduler's idle loop does).
+  if (max_us > 0) engine_->charge_us(max_us);
+  deliver_pending_signals(self());
+}
+
 void SimPlatform::end_idle_poll() {
   SimProc& p = static_cast<SimProc&>(self());
   if (p.idle_polling) {

@@ -66,6 +66,7 @@ class SimPlatform final : public Platform {
   void safe_point() override;
   void begin_idle_poll() override;
   void end_idle_poll() override;
+  void idle_wait(double max_us) override;
   arch::Rng& rng() override;
   void set_preempt_interval(double us) override;
 

@@ -1,6 +1,9 @@
 #include "mp/uni_platform.h"
 
+#include <ctime>
+
 #include "arch/panic.h"
+#include "arch/sysio.h"
 
 namespace mp {
 
@@ -109,6 +112,16 @@ double UniPlatform::now_us() {
 }
 
 void UniPlatform::safe_point() { deliver_pending_signals(proc_); }
+
+void UniPlatform::idle_wait(double max_us) {
+  safe_point();
+  if (max_us <= 0) return;
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(max_us / 1e6);
+  ts.tv_nsec = static_cast<long>((max_us - static_cast<double>(ts.tv_sec) * 1e6) * 1e3);
+  arch::retry_eintr([&] { return ::nanosleep(&ts, &ts); });
+  safe_point();
+}
 
 void UniPlatform::set_preempt_interval(double us) {
   preempt_interval_us_.store(us);

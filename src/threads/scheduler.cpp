@@ -41,11 +41,13 @@ void Scheduler::worker_loop() {
 }
 
 void Scheduler::dispatch() {
+  int idle_rounds = 0;
   for (;;) {
     plat_.work(cfg_.costs.dispatch_instr);
     if (plat_.now_us() >= next_deadline_.load(std::memory_order_acquire)) {
       run_expired_timers();
     }
+    maybe_poll_io();
     if (auto t = queue_->deq(plat_)) {
 #if MPNJ_METRICS
       const long depth = ready_count_.fetch_sub(1, std::memory_order_relaxed);
@@ -72,7 +74,100 @@ void Scheduler::dispatch() {
     }
     MPNJ_METRIC_COUNT(kSchedIdlePolls, 1);
     plat_.begin_idle_poll();
+    if (idle_step(++idle_rounds)) idle_rounds = 0;
+  }
+}
+
+namespace {
+// Bounded exponential idle backoff: the first rounds keep the seed's cheap
+// busy poll (lowest wakeup latency while work is imminent), then the wait
+// doubles from kIdleWaitBaseUs up to kIdleWaitMaxUs.  The cap is what
+// bounds the latency a sleeping proc adds to a stop-the-world or a posted
+// signal when no reactor (with its wake hook) is installed.
+constexpr int kIdleSpinRounds = 8;
+constexpr double kIdleWaitBaseUs = 4;
+constexpr double kIdleWaitMaxUs = 2000;
+// Busy procs drain reactor-ready fds at least this often, so I/O waiters
+// wake even when no proc ever goes idle.
+constexpr double kIoPollIntervalUs = 200;
+}  // namespace
+
+bool Scheduler::idle_step(int round) {
+  IdleWaiter* w = acquire_idle_waiter();
+  if (w != nullptr && w->poll() > 0) {
+    release_idle_waiter();
+    return true;  // woke work; restart backoff and re-attempt the dequeue
+  }
+  if (round <= kIdleSpinRounds) {
+    if (w != nullptr) release_idle_waiter();
     plat_.work(cfg_.costs.poll_instr);
+    return false;
+  }
+  MPNJ_METRIC_COUNT(kSchedIdleBackoff, 1);
+  const int shift = std::min(round - kIdleSpinRounds - 1, 30);
+  double max_us = std::min(kIdleWaitBaseUs * static_cast<double>(1u << shift),
+                           kIdleWaitMaxUs);
+  // Never sleep past the next timer deadline: with every proc waiting in
+  // the reactor, this clamp is what keeps CML timeout events firing.
+  const double deadline = next_deadline_.load(std::memory_order_acquire);
+  if (deadline < std::numeric_limits<double>::infinity()) {
+    max_us = std::min(max_us, std::max(deadline - plat_.now_us(), 0.0));
+  }
+  if (max_us <= 0) {
+    if (w != nullptr) release_idle_waiter();
+    plat_.work(cfg_.costs.poll_instr);
+    return false;
+  }
+  bool woke = false;
+  if (w != nullptr) {
+    woke = w->wait(max_us) > 0;
+    release_idle_waiter();
+  } else {
+    plat_.idle_wait(max_us);
+  }
+  plat_.work(cfg_.costs.poll_instr);
+  return woke;
+}
+
+IdleWaiter* Scheduler::acquire_idle_waiter() {
+  // Common case (no reactor): one relaxed load, no shared-line traffic.
+  if (idle_waiter_.load(std::memory_order_relaxed) == nullptr) return nullptr;
+  idle_waiter_users_.fetch_add(1, std::memory_order_seq_cst);
+  IdleWaiter* w = idle_waiter_.load(std::memory_order_seq_cst);
+  if (w == nullptr) {
+    idle_waiter_users_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  return w;
+}
+
+void Scheduler::release_idle_waiter() {
+  idle_waiter_users_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void Scheduler::set_idle_waiter(IdleWaiter* w) {
+  IdleWaiter* old = idle_waiter_.exchange(w, std::memory_order_seq_cst);
+  if (old == nullptr || old == w) return;
+  // Quiesce: a dispatch loop that acquired `old` either finishes its call
+  // soon (waits are bounded) or is blocked inside wait(); keep kicking it
+  // until the user count drains, after which `old` may be destroyed.
+  while (idle_waiter_users_.load(std::memory_order_seq_cst) > 0) {
+    old->notify();
+    plat_.work(10);
+  }
+}
+
+void Scheduler::maybe_poll_io() {
+  if (idle_waiter_.load(std::memory_order_relaxed) == nullptr) return;
+  const double now = plat_.now_us();
+  double next = next_io_poll_us_.load(std::memory_order_relaxed);
+  if (now < next) return;
+  if (!next_io_poll_us_.compare_exchange_strong(next, now + kIoPollIntervalUs,
+                                                std::memory_order_relaxed)) {
+    return;  // another proc took this poll slot
+  }
+  if (IdleWaiter* w = acquire_idle_waiter()) {
+    w->poll();
+    release_idle_waiter();
   }
 }
 

@@ -23,6 +23,25 @@ struct SchedCosts {
   double poll_instr = 40;      // one empty-queue polling iteration
 };
 
+// Pluggable idle-wait hook: an external event source (the src/io reactor)
+// that idle procs poll and wait on instead of busy-spinning, so a proc
+// never burns a processor — or blocks in the kernel — while runnable
+// threads exist elsewhere.  All methods may be called from any proc
+// concurrently; wait() must bound its own blocking and keep both ends at
+// platform safe points.
+class IdleWaiter {
+ public:
+  virtual ~IdleWaiter() = default;
+  // Dispatch any ready events now, without blocking.  Returns the number
+  // of waiters woken (rescheduled threads, committed event offers).
+  virtual int poll() = 0;
+  // Block until an event arrives, notify() is called, or roughly `max_us`
+  // elapses; returns the number of waiters woken.
+  virtual int wait(double max_us) = 0;
+  // Interrupt a concurrent wait() from any thread (async-thread-safe).
+  virtual void notify() = 0;
+};
+
 struct SchedulerConfig {
   // Queue discipline; null selects the paper's evaluated configuration
   // (distributed per-proc run queues).
@@ -97,6 +116,14 @@ class Scheduler {
   void sleep_until(double deadline_us);
   void sleep_for(double us);
 
+  // ---- idle waiting (extension: src/io reactor integration) ----
+
+  // Install `w` as the idle-wait hook (nullptr to clear).  Clearing blocks
+  // until no dispatch loop still holds a reference to the previous waiter,
+  // so the caller may destroy it immediately afterwards.  Callable from any
+  // thread of the computation (typically the reactor's constructor).
+  void set_idle_waiter(IdleWaiter* w);
+
   // Number of live threads (root + forked, not yet completed).
   long live_threads() const { return live_.load(std::memory_order_acquire); }
 
@@ -117,6 +144,14 @@ class Scheduler {
   void worker_loop();
   void on_preempt();
   void run_expired_timers();
+  IdleWaiter* acquire_idle_waiter();
+  void release_idle_waiter();
+  void maybe_poll_io();
+  // One step of the idle loop: reactor poll, then bounded exponential
+  // backoff (spin -> escalating waits).  `round` counts consecutive empty
+  // dispatch attempts on this proc; returns true when the step woke work
+  // (caller restarts the backoff sequence).
+  bool idle_step(int round);
 
   Platform& plat_;
   SchedulerConfig cfg_;
@@ -130,6 +165,15 @@ class Scheduler {
   std::vector<Timer> timers_;  // min-heap by deadline
   std::atomic<double> next_deadline_{
       std::numeric_limits<double>::infinity()};
+
+  // Idle-wait hook (null when no reactor is installed).  The user count
+  // lets set_idle_waiter quiesce concurrent dispatch loops before the old
+  // waiter is destroyed; both sides use seq_cst (idle path only).
+  std::atomic<IdleWaiter*> idle_waiter_{nullptr};
+  std::atomic<int> idle_waiter_users_{0};
+  // Next platform time a busy dispatch loop drains the reactor, so fds are
+  // still serviced while every proc has runnable threads.
+  std::atomic<double> next_io_poll_us_{0};
 
   // Ready-thread count mirrored outside the queue (the queues' own sizes are
   // lock-protected and differ per discipline); feeds the run-queue-depth

@@ -10,11 +10,12 @@ std::unique_ptr<Workload> make_workload(const std::string& name, int procs) {
   if (name == "simple") return make_simple();
   if (name == "mm") return make_mm();
   if (name == "seq") return make_seq(procs);
+  if (name == "net_echo") return make_net_echo();
   arch::panic("unknown workload '%s'", name.c_str());
 }
 
 std::vector<std::string> workload_names() {
-  return {"allpairs", "mst", "abisort", "simple", "mm", "seq"};
+  return {"allpairs", "mst", "abisort", "simple", "mm", "seq", "net_echo"};
 }
 
 }  // namespace mp::workloads

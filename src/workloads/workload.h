@@ -48,6 +48,16 @@ std::unique_ptr<Workload> make_mm(int n = 100, std::uint64_t seed = 1993);
 // `seq`: `copies` independent instances of a simple allocating computation
 // (one per proc in the Figure 6 baseline).
 std::unique_ptr<Workload> make_seq(int copies, long list_len = 30000);
+// `net_echo`: CML-backed echo server + loopback load generator over the
+// src/io streams.  Virtual-pipe transport by default (every backend); set
+// tcp for real loopback sockets through the reactor (native/uni only).
+struct NetEchoOptions {
+  int connections = 8;
+  int roundtrips = 25;  // per connection
+  int payload_bytes = 64;
+  bool tcp = false;
+};
+std::unique_ptr<Workload> make_net_echo(NetEchoOptions opts = {});
 
 std::unique_ptr<Workload> make_workload(const std::string& name, int procs);
 std::vector<std::string> workload_names();
