@@ -60,12 +60,16 @@ void BM_StoreWithBarrier(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreWithBarrier);
 
+// Arg 0: live records per collection.  Arg 1: 0 = the paper's sequential
+// Cheney scan, 1 = gc::ParallelCopier (here with a single worker, so the
+// delta is the copier's block/termination overhead rather than speedup).
 void BM_MinorCollection(benchmark::State& state) {
   const auto live_records = static_cast<std::size_t>(state.range(0));
   mp::NativePlatformConfig cfg;
   cfg.max_procs = 1;
   cfg.heap.nursery_bytes = 16u << 20;
   cfg.heap.old_bytes = 64u << 20;
+  cfg.heap.parallel_gc = state.range(1) != 0;
   mp::NativePlatform p(cfg);
   p.run([&] {
     auto& h = p.heap();
@@ -85,7 +89,13 @@ void BM_MinorCollection(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(live_records));
 }
-BENCHMARK(BM_MinorCollection)->Arg(1000)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_MinorCollection)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({50000, 0})
+    ->Args({50000, 1});
 
 }  // namespace
 

@@ -3,39 +3,23 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "arch/tas.h"
 #include "cont/cont.h"
+#include "gc/object_layout.h"
 #include "metrics/metrics.h"
 
 namespace mp::gc {
 
 namespace {
 
-constexpr std::size_t kWord = sizeof(std::uint64_t);
+constexpr std::size_t kWord = kWordBytes;
 constexpr std::size_t kMaxInlineFields = 64;
 
-std::uint64_t make_header(ObjKind kind, std::size_t length) {
-  return (static_cast<std::uint64_t>(length) << 4) |
-         (static_cast<std::uint64_t>(kind) << 1);
-}
-
-std::size_t header_field_words(std::uint64_t hdr) {
-  const auto kind = static_cast<ObjKind>((hdr >> 1) & 0x7u);
-  const std::size_t len = static_cast<std::size_t>(hdr >> 4);
-  if (kind == ObjKind::kBytes || kind == ObjKind::kReal) {
-    return (len + kWord - 1) / kWord;  // length counts payload bytes
-  }
-  return len;  // length counts Value fields
-}
-
-bool header_is_traced(std::uint64_t hdr) {
-  const auto kind = static_cast<ObjKind>((hdr >> 1) & 0x7u);
-  return kind == ObjKind::kRecord || kind == ObjKind::kArray ||
-         kind == ObjKind::kRef;
-}
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
 // RAII temp root frame used inside allocation: roots the allocation's own
 // argument values so a collection triggered by the slow path (or by another
@@ -66,10 +50,52 @@ class TempRoots {
 
 }  // namespace
 
-Heap::Heap(const HeapConfig& config, CollectorHooks& hooks)
-    : cfg_(config), hooks_(hooks) {
+// ----- configuration -----
+
+bool HeapConfig::default_parallel_gc() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("MPNJ_GC_PARALLEL");
+    return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+  }();
+  return enabled;
+}
+
+void HeapConfig::validate() const {
+  if (chunks_per_proc == 0) {
+    arch::panic(
+        "HeapConfig: chunks_per_proc is 0; a zero-chunk nursery can never "
+        "satisfy an allocation (use with_chunks_per_proc(n >= 1))");
+  }
+  if (!is_pow2(nursery_bytes)) {
+    arch::panic(
+        "HeapConfig: nursery_bytes (%zu) must be a non-zero power of two",
+        nursery_bytes);
+  }
+  if (!is_pow2(old_bytes)) {
+    arch::panic(
+        "HeapConfig: old_bytes (%zu) must be a non-zero power of two",
+        old_bytes);
+  }
+  if (!(major_fraction > 0.0) || major_fraction > 1.0) {
+    arch::panic(
+        "HeapConfig: major_fraction (%f) must be in (0, 1]", major_fraction);
+  }
+  if (!is_pow2(par_block_words) || par_block_words < 64) {
+    arch::panic(
+        "HeapConfig: par_block_words (%zu) must be a power of two >= 64",
+        par_block_words);
+  }
+}
+
+Heap::Heap(const HeapConfig& config, Rendezvous& rendezvous,
+           Accounting& accounting)
+    : cfg_(config),
+      rendezvous_(rendezvous),
+      accounting_(accounting),
+      copier_(config.par_block_words) {
+  cfg_.validate();
   nursery_words_ = cfg_.nursery_bytes / kWord;
-  const std::size_t nproc = static_cast<std::size_t>(hooks_.nproc());
+  const std::size_t nproc = static_cast<std::size_t>(rendezvous_.nproc());
   num_chunks_ = std::max<std::size_t>(1, nproc * cfg_.chunks_per_proc);
   chunk_words_ = nursery_words_ / num_chunks_;
   MPNJ_CHECK(chunk_words_ >= 64, "nursery chunks too small; grow the nursery");
@@ -84,6 +110,7 @@ Heap::Heap(const HeapConfig& config, CollectorHooks& hooks)
   for (std::size_t i = num_chunks_; i > 0; i--) {
     free_chunks_.push_back(static_cast<std::uint32_t>(i - 1));
   }
+  baseline_ = metrics::registry().snapshot();
 }
 
 Heap::~Heap() {
@@ -113,12 +140,26 @@ std::size_t Heap::old_space_used_words() const {
 std::size_t Heap::nursery_free_chunks() const { return free_chunks_.size(); }
 
 HeapStats Heap::stats() const {
-  HeapStats s = stats_;
-  for (const auto& ph : proc_heaps_) {
-    s.words_allocated += ph.words_allocated;
-    s.allocations += ph.allocations;
-    s.stores_recorded += ph.stores_recorded;
-  }
+  const metrics::Snapshot now = metrics::registry().snapshot();
+  // Saturating delta: registry().reset() between construction and here would
+  // otherwise wrap.
+  auto delta = [&](metrics::Counter c) -> std::uint64_t {
+    const std::uint64_t cur = now.counter(c);
+    const std::uint64_t base = baseline_.counter(c);
+    return cur >= base ? cur - base : 0;
+  };
+  using metrics::Counter;
+  HeapStats s;
+  s.words_allocated = delta(Counter::kGcAllocWords);
+  s.allocations = delta(Counter::kGcAllocs);
+  s.minor_gcs = delta(Counter::kGcMinor);
+  s.major_gcs = delta(Counter::kGcMajor);
+  s.words_copied_minor = delta(Counter::kGcWordsCopiedMinor);
+  s.words_copied_major = delta(Counter::kGcWordsCopiedMajor);
+  s.chunk_grabs = delta(Counter::kGcChunkGrabs);
+  s.chunk_steals = delta(Counter::kGcChunkSteals);
+  s.stores_recorded = delta(Counter::kGcStores);
+  s.large_allocs = delta(Counter::kGcLargeAllocs);
   return s;
 }
 
@@ -132,13 +173,11 @@ bool Heap::grab_chunk(ProcHeap& ph) {
   ph.alloc = nursery_ + static_cast<std::size_t>(idx) * chunk_words_;
   ph.limit = ph.alloc + chunk_words_;
   ph.chunks_since_gc++;
-  stats_.chunk_grabs++;
-  MPNJ_METRIC_COUNT(kGcChunkGrabs, 1);
+  MPNJ_METRIC_COUNT_ALWAYS(kGcChunkGrabs, 1);
   const std::uint64_t fair =
-      num_chunks_ / static_cast<std::size_t>(hooks_.nproc());
+      num_chunks_ / static_cast<std::size_t>(rendezvous_.nproc());
   if (ph.chunks_since_gc > fair) {
-    stats_.chunk_steals++;
-    MPNJ_METRIC_COUNT(kGcChunkSteals, 1);
+    MPNJ_METRIC_COUNT_ALWAYS(kGcChunkSteals, 1);
   }
   return true;
 }
@@ -146,14 +185,14 @@ bool Heap::grab_chunk(ProcHeap& ph) {
 std::uint64_t* Heap::alloc_raw(ObjKind kind, std::size_t field_words,
                                std::size_t length_for_header,
                                std::span<Value> rooted_args) {
-  const int pid = hooks_.cur_proc();
+  const int pid = rendezvous_.cur_proc();
   MPNJ_CHECK(pid >= 0, "allocation outside a proc");
   ProcHeap& ph = proc_heaps_[static_cast<std::size_t>(pid)];
   const std::size_t words = 1 + field_words;
 
   // Charge point (a clean point: another proc's collection may run here; the
   // argument values are protected by the caller's TempRoots frame).
-  hooks_.charge_alloc(words);
+  accounting_.charge_alloc(words);
 
   std::uint64_t* obj;
   if (words > chunk_words_) {
@@ -167,8 +206,8 @@ std::uint64_t* Heap::alloc_raw(ObjKind kind, std::size_t field_words,
     ph.alloc += words;
   }
   obj[0] = make_header(kind, length_for_header);
-  ph.words_allocated += words;
-  ph.allocations++;
+  MPNJ_METRIC_COUNT_ALWAYS(kGcAllocWords, words);
+  MPNJ_METRIC_COUNT_ALWAYS(kGcAllocs, 1);
   return obj;
 }
 
@@ -180,8 +219,7 @@ std::uint64_t* Heap::alloc_large(std::size_t words) {
           words) {
         std::uint64_t* obj = old_alloc_;
         old_alloc_ += words;
-        stats_.large_allocs++;
-        MPNJ_METRIC_COUNT(kGcLargeAllocs, 1);
+        MPNJ_METRIC_COUNT_ALWAYS(kGcLargeAllocs, 1);
         return obj;
       }
     }
@@ -251,27 +289,51 @@ void Heap::store(Value obj, std::size_t index, Value v) {
   // them as roots (SML/NJ's store list for old-to-young pointers).
   auto* p = reinterpret_cast<std::uint64_t*>(obj.raw_bits());
   if (p >= old_cur_ && p < old_alloc_) {
-    const int pid = hooks_.cur_proc();
+    const int pid = rendezvous_.cur_proc();
     ProcHeap& ph = proc_heaps_[static_cast<std::size_t>(pid)];
     ph.store_list.push_back(slot);
-    ph.stores_recorded++;
+    MPNJ_METRIC_COUNT_ALWAYS(kGcStores, 1);
   }
 }
 
 // ----- collection -----
 
+void Heap::stop_and_collect(bool force_major) {
+  // Register the worker entry with the rendezvous *before* stopping the
+  // world: a proc that parks while we are still enumerating roots spins
+  // inside worker_cycle until the first phase opens.
+  WorkerFn fn;
+  if (cfg_.parallel_gc) {
+    copier_.begin_cycle();
+    fn = [this] { copier_.worker_cycle(); };
+  }
+  rendezvous_.stop_world(std::move(fn));
+  do_collect(force_major, {});
+  // Release the workers before the world resumes; the backend guarantees
+  // every co-opted proc has left the worker fn before running client code.
+  if (cfg_.parallel_gc) copier_.end_cycle();
+  gc_in_progress_.store(false);
+  rendezvous_.resume_world();
+}
+
+void Heap::join_in_flight_collection() {
+  // Another proc is collecting: reach a clean point and contribute to the
+  // copy where the backend supports it, instead of spinning.
+  if (cfg_.parallel_gc) {
+    rendezvous_.rendezvous_and_work([this] { copier_.worker_cycle(); });
+  } else {
+    rendezvous_.rendezvous_and_work(WorkerFn{});
+  }
+}
+
 void Heap::run_gc_cycle(bool force_major, std::span<Value> rooted_args) {
   (void)rooted_args;  // already linked into the root chain by the caller
   bool expected = false;
   if (gc_in_progress_.compare_exchange_strong(expected, true)) {
-    hooks_.stop_world();
-    do_collect(force_major, {});
-    gc_in_progress_.store(false);
-    hooks_.resume_world();
+    stop_and_collect(force_major);
   } else {
-    // Another proc is collecting: reach a clean point, then let the caller
-    // retry its chunk grab against the refilled nursery.
-    hooks_.gc_yield();
+    // The caller retries its chunk grab against the refilled nursery.
+    join_in_flight_collection();
   }
 }
 
@@ -279,13 +341,10 @@ void Heap::collect_now(bool force_major) {
   for (;;) {
     bool expected = false;
     if (gc_in_progress_.compare_exchange_strong(expected, true)) {
-      hooks_.stop_world();
-      do_collect(force_major, {});
-      gc_in_progress_.store(false);
-      hooks_.resume_world();
+      stop_and_collect(force_major);
       return;
     }
-    hooks_.gc_yield();
+    join_in_flight_collection();
   }
 }
 
@@ -319,22 +378,27 @@ std::uint64_t* Heap::scan_object(std::uint64_t* obj) {
   return obj + 1 + words;
 }
 
-void Heap::evacuate_roots(std::span<Value> extra_roots) {
-  auto forward_value = [this](Value* v) {
-    forward_slot(reinterpret_cast<std::uint64_t*>(v));
+std::vector<std::uint64_t*> Heap::gather_root_slots(
+    std::span<Value> extra_roots, bool minor) {
+  std::vector<std::uint64_t*> slots;
+  slots.reserve(256);
+  auto add_value = [&](Value* v) {
+    slots.push_back(reinterpret_cast<std::uint64_t*>(v));
   };
   auto walk_chain = [&](void* head) {
     for (auto* f = static_cast<RootFrameHdr*>(head); f != nullptr;
          f = f->prev) {
-      for (std::size_t i = 0; i < f->count; i++) forward_value(&f->slots[i]);
+      for (std::size_t i = 0; i < f->count; i++) add_value(&f->slots[i]);
     }
   };
 
-  for (Value& v : extra_roots) forward_value(&v);
+  for (Value& v : extra_roots) add_value(&v);
 
   // Running procs' current root chains.
-  for (int id = 0; id < hooks_.nproc(); id++) {
-    if (cont::ExecContext* ex = hooks_.proc_exec(id)) walk_chain(ex->root_head);
+  for (int id = 0; id < rendezvous_.nproc(); id++) {
+    if (cont::ExecContext* ex = rendezvous_.proc_exec(id)) {
+      walk_chain(ex->root_head);
+    }
   }
 
   // Suspended threads: every live un-fired continuation's chain, plus any
@@ -343,41 +407,78 @@ void Heap::evacuate_roots(std::span<Value> extra_roots) {
     const auto st = core.state();
     if (st == cont::ContCore::State::kFired) return;
     walk_chain(core.root_head());
-    if (core.slot_is_gc_ref()) forward_slot(core.slot_ptr());
+    if (core.slot_is_gc_ref()) slots.push_back(core.slot_ptr());
   });
 
   // Individually registered roots (values inside C++ containers).
   {
     arch::TasGuard guard(roots_lock_);
     for (GlobalRoot* r = global_roots_; r != nullptr; r = r->next_) {
-      forward_value(&r->value_);
+      add_value(&r->value_);
     }
   }
+
+  // Minor collections additionally treat recorded old-to-young stores as
+  // roots.  Only assignments into live old objects still matter; slots
+  // inside the nursery belong to young objects the trace reaches anyway.
+  if (minor) {
+    for (auto& ph : proc_heaps_) {
+      for (std::uint64_t* slot : ph.store_list) {
+        if (slot >= old_cur_ && slot < old_alloc_) slots.push_back(slot);
+      }
+    }
+  }
+
+  // One slot, one writer: the parallel copier claims each root exactly once,
+  // so duplicates (repeated store-list entries above all) must go.
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  return slots;
+}
+
+std::uint64_t Heap::sequential_phase(std::span<Value> extra_roots, bool minor) {
+  std::uint64_t* const start = old_alloc_;
+  std::uint64_t* scan = old_alloc_;
+  for (std::uint64_t* slot : gather_root_slots(extra_roots, minor)) {
+    forward_slot(slot);
+  }
+  while (scan < old_alloc_) scan = scan_object(scan);
+  return static_cast<std::uint64_t>(old_alloc_ - start);
+}
+
+std::uint64_t Heap::parallel_phase(std::span<Value> extra_roots, bool minor) {
+  const std::vector<std::uint64_t*> roots =
+      gather_root_slots(extra_roots, minor);
+  std::uint64_t* frontier = old_alloc_;
+  const ParallelCopier::PhaseResult res = copier_.run_phase(
+      from_lo_, from_hi_, &frontier, old_cur_ + old_words_, roots);
+  old_alloc_ = frontier;
+  MPNJ_METRIC_COUNT_ALWAYS(kGcParCollections, 1);
+  MPNJ_METRIC_COUNT(kGcParWorkers, static_cast<std::uint64_t>(res.workers));
+  MPNJ_METRIC_COUNT(kGcParSteals, res.steals);
+  MPNJ_METRIC_COUNT(kGcParOverflowPushes, res.overflow_pushes);
+  MPNJ_METRIC_COUNT(kGcParPadWords, res.pad_words);
+  MPNJ_METRIC_COUNT(kGcParTermRounds, res.term_rounds);
+  MPNJ_METRIC_RECORD(kGcParSteals, res.steals);
+  MPNJ_METRIC_RECORD(kGcParTermRounds, res.term_rounds);
+  for (const std::uint64_t ww : res.worker_words) {
+    (void)ww;  // compiled away with -DMPNJ_METRICS=OFF
+    MPNJ_METRIC_RECORD(kGcParWorkerWords, ww);
+  }
+  return res.live_words;
 }
 
 void Heap::do_collect(bool force_major, std::span<Value> extra_roots) {
-#if MPNJ_METRICS
   const auto pause_start = std::chrono::steady_clock::now();
-#endif
-  std::uint64_t copied = 0;
 
   // --- minor: evacuate the nursery into the old generation ---
   from_lo_ = nursery_;
   from_hi_ = nursery_ + nursery_words_;
-  std::uint64_t* const minor_start = old_alloc_;
-  std::uint64_t* scan = old_alloc_;
-  evacuate_roots(extra_roots);
-  for (auto& ph : proc_heaps_) {
-    for (std::uint64_t* slot : ph.store_list) {
-      // Only assignments into live old objects still matter; slots inside
-      // the nursery belong to young objects the trace reaches anyway.
-      if (slot >= old_cur_ && slot < old_alloc_) forward_slot(slot);
-    }
-  }
-  while (scan < old_alloc_) scan = scan_object(scan);
-  const auto minor_copied = static_cast<std::uint64_t>(old_alloc_ - minor_start);
-  stats_.words_copied_minor += minor_copied;
-  copied += minor_copied;
+  const std::uint64_t minor_copied =
+      cfg_.parallel_gc ? parallel_phase(extra_roots, /*minor=*/true)
+                       : sequential_phase(extra_roots, /*minor=*/true);
+  MPNJ_METRIC_COUNT_ALWAYS(kGcWordsCopiedMinor, minor_copied);
+  std::uint64_t copied = minor_copied;
 
   // Reset the nursery: every chunk becomes free and every proc grabs anew.
   {
@@ -393,7 +494,7 @@ void Heap::do_collect(bool force_major, std::span<Value> extra_roots) {
     ph.store_list.clear();
     ph.chunks_since_gc = 0;
   }
-  stats_.minor_gcs++;
+  MPNJ_METRIC_COUNT_ALWAYS(kGcMinor, 1);
 
   // --- major: copy the old generation into the other semispace ---
   const bool need_major =
@@ -405,32 +506,27 @@ void Heap::do_collect(bool force_major, std::span<Value> extra_roots) {
     std::uint64_t* to = (old_cur_ == old_a_) ? old_b_ : old_a_;
     old_cur_ = to;
     old_alloc_ = to;
-    std::uint64_t* mscan = to;
-    evacuate_roots(extra_roots);
-    while (mscan < old_alloc_) mscan = scan_object(mscan);
-    stats_.major_gcs++;
-    const auto major_copied = static_cast<std::uint64_t>(old_alloc_ - to);
-    stats_.words_copied_major += major_copied;
+    const std::uint64_t major_copied =
+        cfg_.parallel_gc ? parallel_phase(extra_roots, /*minor=*/false)
+                         : sequential_phase(extra_roots, /*minor=*/false);
+    MPNJ_METRIC_COUNT_ALWAYS(kGcMajor, 1);
+    MPNJ_METRIC_COUNT_ALWAYS(kGcWordsCopiedMajor, major_copied);
     copied += major_copied;
   }
 
-  hooks_.charge_gc(copied);
+  accounting_.charge_gc(copied);
   from_lo_ = nullptr;
   from_hi_ = nullptr;
+  MPNJ_METRIC_COUNT_ALWAYS(kGcWordsCopied, copied);
 
-#if MPNJ_METRICS
   // Wall-clock pause, not virtual time: the simulator charges its own model
   // of GC cost via charge_gc; this measures what the host actually paid.
   const auto pause_us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - pause_start)
           .count());
-  MPNJ_METRIC_COUNT(kGcMinor, 1);
-  if (need_major) MPNJ_METRIC_COUNT(kGcMajor, 1);
-  MPNJ_METRIC_COUNT(kGcWordsCopied, copied);
-  MPNJ_METRIC_COUNT(kGcPauseUsTotal, pause_us);
+  MPNJ_METRIC_COUNT_ALWAYS(kGcPauseUsTotal, pause_us);
   MPNJ_METRIC_RECORD(kGcPauseUs, pause_us);
-#endif
 }
 
 // ----- verification -----
@@ -459,7 +555,9 @@ bool Heap::verify(std::string* error) const {
     return young || old;
   };
 
-  // Every object in the old generation must parse.
+  // Every object in the old generation must parse (parallel collections pad
+  // unused block tails with untraced kBytes objects precisely so this walk
+  // stays valid).
   const std::uint64_t* obj = old_cur_;
   while (obj < old_alloc_) {
     const std::uint64_t hdr = *obj;

@@ -10,8 +10,10 @@
 #include "arch/cacheline.h"
 #include "arch/tas.h"
 #include "gc/hooks.h"
+#include "gc/parallel_copy.h"
 #include "gc/roots.h"
 #include "gc/value.h"
+#include "metrics/metrics.h"
 
 namespace mp::gc {
 
@@ -21,15 +23,65 @@ namespace mp::gc {
 // exhausted "steals" spare chunks other procs have not claimed.  Survivors
 // are copied into the old generation; the old generation itself is collected
 // (copied between two semispaces) when it passes `major_fraction`.
+//
+// Construction is named-setter style and validated: Heap panics with a
+// precise message on a degenerate configuration (zero-chunk nursery,
+// non-power-of-two region sizes) instead of silently misbehaving:
+//
+//   gc::HeapConfig cfg;
+//   cfg.with_nursery_bytes(1u << 20).with_chunks_per_proc(4);
 struct HeapConfig {
-  std::size_t nursery_bytes = 1u << 20;
+  std::size_t nursery_bytes = 1u << 20;  // power of two
   // The nursery is split into nproc * chunks_per_proc chunks; one chunk is a
   // proc's initial "share" granularity.
   std::size_t chunks_per_proc = 4;
-  std::size_t old_bytes = 32u << 20;  // per semispace
+  std::size_t old_bytes = 32u << 20;  // per semispace; power of two
   double major_fraction = 0.75;
+  // Run collections with every rendezvoused proc as a copy worker (see
+  // gc/parallel_copy.h).  Defaults from the MPNJ_GC_PARALLEL environment
+  // variable: unset or any value but "0" enables, "0" restores the paper's
+  // sequential collection.
+  bool parallel_gc = default_parallel_gc();
+  // To-space granule each parallel worker carves per frontier fetch_add;
+  // power of two, at least 64 words.
+  std::size_t par_block_words = 1024;
+
+  HeapConfig& with_nursery_bytes(std::size_t v) {
+    nursery_bytes = v;
+    return *this;
+  }
+  HeapConfig& with_chunks_per_proc(std::size_t v) {
+    chunks_per_proc = v;
+    return *this;
+  }
+  HeapConfig& with_old_bytes(std::size_t v) {
+    old_bytes = v;
+    return *this;
+  }
+  HeapConfig& with_major_fraction(double v) {
+    major_fraction = v;
+    return *this;
+  }
+  HeapConfig& with_parallel_gc(bool v) {
+    parallel_gc = v;
+    return *this;
+  }
+  HeapConfig& with_par_block_words(std::size_t v) {
+    par_block_words = v;
+    return *this;
+  }
+
+  // Panics with a clear message on any degenerate setting; called by Heap's
+  // constructor, callable directly by tests.
+  void validate() const;
+
+  static bool default_parallel_gc();
 };
 
+// Aggregated heap statistics.  A thin shim over mp::metrics: the counters
+// live in the process-wide metrics registry (always-on tier, so they survive
+// MPNJ_METRICS=0 builds and env settings) and stats() returns the delta
+// since this Heap was constructed.
 struct HeapStats {
   std::uint64_t words_allocated = 0;
   std::uint64_t allocations = 0;
@@ -45,8 +97,10 @@ struct HeapStats {
 
 // The multiprocessor-adapted SML/NJ heap (paper section 5): per-proc bump
 // allocation into a shared nursery, stop-the-world clean-point rendezvous,
-// and a *sequential* two-generation copying collection performed by the
-// requesting proc — deliberately reproducing the paper's main scalability
+// and a two-generation copying collection.  With parallel_gc set (the
+// default) every rendezvoused proc joins the copy as a worker through
+// gc::ParallelCopier; with it clear the requesting proc collects alone while
+// the others idle — the paper's original behaviour, and its main scalability
 // bottleneck.
 //
 // Client discipline: every Value live across a runtime call (allocation,
@@ -54,7 +108,8 @@ struct HeapStats {
 // or GlobalRoot; collections move objects and update only registered roots.
 class Heap {
  public:
-  Heap(const HeapConfig& config, CollectorHooks& hooks);
+  Heap(const HeapConfig& config, Rendezvous& rendezvous,
+       Accounting& accounting);
   ~Heap();
   Heap(const Heap&) = delete;
   Heap& operator=(const Heap&) = delete;
@@ -82,10 +137,12 @@ class Heap {
   // Force a collection now (tests / benchmarks); world-stops like any GC.
   void collect_now(bool force_major = false);
 
-  // Aggregated statistics (per-proc counters summed at call time).
+  // Statistics since this Heap's construction (metrics registry delta).
   HeapStats stats() const;
   std::size_t old_space_used_words() const;
   std::size_t nursery_free_chunks() const;
+
+  const HeapConfig& config() const { return cfg_; }
 
   // --- introspection for tests ---
   bool in_nursery(Value v) const;
@@ -106,11 +163,6 @@ class Heap {
     std::uint64_t* limit = nullptr;
     std::vector<std::uint64_t*> store_list;
     std::uint64_t chunks_since_gc = 0;
-    // Per-proc counters (merged by stats()) so the allocation fast path
-    // never touches shared cache lines.
-    std::uint64_t words_allocated = 0;
-    std::uint64_t allocations = 0;
-    std::uint64_t stores_recorded = 0;
   };
 
   std::uint64_t* alloc_raw(ObjKind kind, std::size_t field_words,
@@ -119,16 +171,28 @@ class Heap {
   bool grab_chunk(ProcHeap& ph);
   std::uint64_t* alloc_large(std::size_t words);
   void run_gc_cycle(bool force_major, std::span<Value> rooted_args);
+  void stop_and_collect(bool force_major);
+  void join_in_flight_collection();
   void do_collect(bool force_major, std::span<Value> extra_roots);
-  void evacuate_roots(std::span<Value> extra_roots);
+  // One copy phase (minor or major) over [from_lo_, from_hi_); returns the
+  // live words copied.  The sequential variant is the paper's collector; the
+  // parallel variant drives gc::ParallelCopier.
+  std::uint64_t sequential_phase(std::span<Value> extra_roots, bool minor);
+  std::uint64_t parallel_phase(std::span<Value> extra_roots, bool minor);
+  std::vector<std::uint64_t*> gather_root_slots(std::span<Value> extra_roots,
+                                                bool minor);
   void forward_slot(std::uint64_t* slot);
   std::uint64_t* scan_object(std::uint64_t* obj);
   void register_global_root(GlobalRoot* root);
   void unregister_global_root(GlobalRoot* root);
 
   HeapConfig cfg_;
-  CollectorHooks& hooks_;
-  HeapStats stats_;
+  Rendezvous& rendezvous_;
+  Accounting& accounting_;
+  ParallelCopier copier_;
+  // Metrics registry totals at construction; stats() subtracts these so each
+  // Heap reports only its own activity.
+  metrics::Snapshot baseline_;
 
   // Nursery.
   std::uint64_t* nursery_ = nullptr;

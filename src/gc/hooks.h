@@ -1,34 +1,47 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "cont/exec.h"
 
 namespace mp::gc {
 
-// What the heap needs from the platform underneath it.  The native backend
-// implements stop_world with a real rendezvous of kernel threads and ignores
-// the charge hooks; the simulator backend parks virtual procs at clean
-// points and converts the charges into virtual time and bus traffic.
-class CollectorHooks {
- public:
-  virtual ~CollectorHooks() = default;
+// Entry point of the heap's parallel-collection worker loop.  The heap hands
+// one of these to the platform when it stops the world; every proc the
+// backend co-opts at the rendezvous calls it exactly once per collection and
+// returns only when the collection's parallel phase has terminated (the
+// heap's own termination detector decides).  An empty function means the
+// collection is sequential and rendezvoused procs simply wait.
+using WorkerFn = std::function<void()>;
 
-  // Park every other active proc at a clean point (paper section 5: "the
-  // procs are synchronized at clean points").  Returns when the world is
-  // stopped; the caller becomes the collector.
-  virtual void stop_world() = 0;
+// What the heap needs from the platform to coordinate a collection: the
+// stop-the-world rendezvous of paper section 5 ("the procs are synchronized
+// at clean points"), extended so rendezvoused procs become collection
+// workers instead of idling.  This is one half of the old monolithic
+// CollectorHooks; the cost-accounting half is Accounting below.
+class Rendezvous {
+ public:
+  virtual ~Rendezvous() = default;
+
+  // Park every other active proc at a clean point and register `work` as the
+  // collection's worker entry.  Returns when the world is stopped; the
+  // caller becomes the collector (and worker 0).  Backends that can run code
+  // on rendezvoused procs route each of them into `work` once; backends that
+  // cannot (the uniprocessor, the single-kernel-thread simulator) leave the
+  // caller as the only worker.
+  virtual void stop_world(WorkerFn work) = 0;
+  // Release the world.  The backend guarantees every proc it routed into
+  // `work` has returned from it before any proc resumes client code.
   virtual void resume_world() = 0;
 
-  // Account a completed collection that copied `words_copied` live words.
-  virtual void charge_gc(std::uint64_t words_copied) = 0;
-  // Account an allocation of `words` heap words (inline bump + write miss
-  // traffic, the dominant bus load in SML/NJ programs).
-  virtual void charge_alloc(std::uint64_t words) = 0;
   // Called by a proc that needs a collection some other proc is already
-  // performing: must reach a clean point (parking there if the world is
-  // stopping) and return once it is safe to retry allocation.
-  virtual void gc_yield() = 0;
+  // performing: reach a clean point (parking there while the world is
+  // stopping), join the in-flight collection as a worker where the backend
+  // supports it, and return once it is safe to retry allocation.  Replaces
+  // the old gc_yield(), whose contract let backends silently spin without
+  // ever contributing to the collection.
+  virtual void rendezvous_and_work(const WorkerFn& work) = 0;
 
   // Identity of the executing proc, and the proc table for root scanning.
   virtual int cur_proc() = 0;
@@ -36,6 +49,20 @@ class CollectorHooks {
   // Execution context of proc `id` (for its current root chain); the world
   // is stopped when the collector calls this.
   virtual cont::ExecContext* proc_exec(int id) = 0;
+};
+
+// Cost accounting for the platform underneath the heap.  The native backend
+// ignores the charges (the computation itself is the cost); the simulator
+// converts them into virtual time and bus traffic.
+class Accounting {
+ public:
+  virtual ~Accounting() = default;
+
+  // Account a completed collection that copied `words_copied` live words.
+  virtual void charge_gc(std::uint64_t words_copied) = 0;
+  // Account an allocation of `words` heap words (inline bump + write miss
+  // traffic, the dominant bus load in SML/NJ programs).
+  virtual void charge_alloc(std::uint64_t words) = 0;
 };
 
 }  // namespace mp::gc

@@ -1,0 +1,50 @@
+#pragma once
+
+// Heap object layout helpers shared by the sequential collector (heap.cpp)
+// and the parallel copier (parallel_copy.cpp).
+//
+// Object layout: [header][field 0]...[field n-1], one 64-bit word each.
+// Header encoding: (length << 4) | (kind << 1) | 0; a header with the low
+// bit set is a forwarding pointer installed during collection.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gc/value.h"
+
+namespace mp::gc {
+
+inline constexpr std::size_t kWordBytes = sizeof(std::uint64_t);
+
+inline std::uint64_t make_header(ObjKind kind, std::size_t length) {
+  return (static_cast<std::uint64_t>(length) << 4) |
+         (static_cast<std::uint64_t>(kind) << 1);
+}
+
+inline ObjKind header_kind(std::uint64_t hdr) {
+  return static_cast<ObjKind>((hdr >> 1) & 0x7u);
+}
+
+inline std::size_t header_field_words(std::uint64_t hdr) {
+  const ObjKind kind = header_kind(hdr);
+  const std::size_t len = static_cast<std::size_t>(hdr >> 4);
+  if (kind == ObjKind::kBytes || kind == ObjKind::kReal) {
+    return (len + kWordBytes - 1) / kWordBytes;  // length counts payload bytes
+  }
+  return len;  // length counts Value fields
+}
+
+inline bool header_is_traced(std::uint64_t hdr) {
+  const ObjKind kind = header_kind(hdr);
+  return kind == ObjKind::kRecord || kind == ObjKind::kArray ||
+         kind == ObjKind::kRef;
+}
+
+// A pad object filling `words` to-space words (block tails the parallel
+// copier could not use).  Encoded as an untraced kBytes object so the old
+// generation still parses linearly; no Value ever points at a pad.
+inline std::uint64_t make_pad_header(std::size_t words) {
+  return make_header(ObjKind::kBytes, (words - 1) * kWordBytes);
+}
+
+}  // namespace mp::gc

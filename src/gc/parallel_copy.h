@@ -1,0 +1,157 @@
+#pragma once
+
+// Parallel stop-the-world copying (the heap's answer to the paper's main
+// scalability limit: §5 performs the whole collection on one proc while the
+// others idle at the rendezvous).  Once the world is stopped, every proc the
+// platform routes into worker_cycle() becomes a collection worker:
+//
+//   - Root slots are enumerated sequentially by the collector, then claimed
+//     by workers in batches through an atomic cursor.
+//   - Each worker copies survivors into a private alloc block carved from
+//     the shared to-space frontier (one fetch_add per block, no per-object
+//     synchronization) and Cheney-scans its own block in place.
+//   - Forwarding races on a shared object are settled by a single CAS on the
+//     from-space header (reserve locally, CAS the forwarding word, un-bump
+//     on loss), so every object is copied exactly once and to-space has no
+//     holes beyond explicit pads.
+//   - When a block fills, its unscanned tail is published to a shared
+//     overflow stack that idle workers steal from; the retired block's
+//     unused words are padded so the old generation still parses.
+//   - Termination is a two-phase detector: a worker that finds all entered
+//     workers idle, the overflow stack empty, and the publish sequence
+//     unchanged re-verifies the whole condition once more (a "round") before
+//     declaring the phase done.
+//
+// The copier is observably equivalent to the sequential collector: the set
+// of copied objects is the reachable set either way, only the to-space order
+// differs.  One collection cycle may run several phases (minor, then major);
+// co-opted procs stay inside worker_cycle() across phases until end_cycle().
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/cacheline.h"
+#include "arch/tas.h"
+
+namespace mp::gc {
+
+class ParallelCopier {
+ public:
+  static constexpr int kMaxWorkers = 64;
+
+  explicit ParallelCopier(std::size_t block_words);
+  ParallelCopier(const ParallelCopier&) = delete;
+  ParallelCopier& operator=(const ParallelCopier&) = delete;
+
+  struct PhaseResult {
+    std::uint64_t live_words = 0;  // copied survivor words (pads excluded)
+    std::uint64_t pad_words = 0;   // to-space words lost to block-tail pads
+    std::uint64_t steals = 0;      // overflow regions stolen
+    std::uint64_t overflow_pushes = 0;
+    std::uint64_t term_rounds = 0;  // termination-detector confirm rounds
+    int workers = 0;                // procs that participated in the phase
+    std::vector<std::uint64_t> worker_words;  // per-worker copy balance
+  };
+
+  // Collector side.  begin_cycle() must be called before the worker fn is
+  // registered with the platform (co-opted procs may enter worker_cycle()
+  // immediately); end_cycle() releases them and must precede resume_world().
+  void begin_cycle();
+  void end_cycle();
+
+  // Evacuate every object in [from_lo, from_hi) reachable from *root_slots
+  // into to-space starting at **frontier (bounded by to_limit).  The calling
+  // proc acts as a worker itself; procs already inside worker_cycle() join.
+  // On return **frontier is the new allocation frontier and the to-space
+  // region below it parses (gaps are pad objects).  Root slots must be
+  // unique: each is claimed and rewritten by exactly one worker.
+  PhaseResult run_phase(std::uint64_t* from_lo, std::uint64_t* from_hi,
+                        std::uint64_t** frontier, std::uint64_t* to_limit,
+                        std::span<std::uint64_t* const> root_slots);
+
+  // Body of the WorkerFn the heap hands to Rendezvous::stop_world: loops
+  // over the cycle's phases, working each one, until end_cycle().
+  void worker_cycle();
+
+ private:
+  struct Region {
+    std::uint64_t* lo;
+    std::uint64_t* hi;
+  };
+
+  // Per-worker copy state; lives on the worker's stack during a phase.
+  struct Worker {
+    std::uint64_t* block = nullptr;  // current alloc block base (null: none)
+    std::uint64_t* scan = nullptr;   // Cheney scan pointer within the block
+    std::uint64_t* alloc = nullptr;  // bump pointer within the block
+    std::uint64_t* limit = nullptr;  // end of the carved block
+    std::uint64_t copied = 0;        // live words copied (pads excluded)
+    std::uint64_t flushed = 0;       // portion of `copied` already published
+    std::uint64_t steals = 0;
+    std::uint64_t pushes = 0;
+    std::uint64_t pads = 0;
+  };
+
+  void run_worker(std::uint64_t myseq);
+  void claim_roots(Worker& w);
+  void forward_slot(Worker& w, std::uint64_t* slot);
+  void drain_own(Worker& w);
+  void scan_fields(Worker& w, std::uint64_t* obj);
+  void scan_region(Worker& w, Region r);
+  std::uint64_t* reserve(Worker& w, std::size_t words);
+  void retire_block(Worker& w);
+  bool try_steal(Region* out);
+  void publish(Worker& w, Region r);
+  bool overflow_empty();
+  // Spin until work appears (true; idle_ already left) or the phase
+  // terminates (false; this worker may be the one that declares it).
+  bool wait_for_work(Worker& w, int wid);
+  void flush_stats(Worker& w, int wid);
+
+  const std::size_t block_words_;
+
+  // Cycle gate: worker_cycle() spins on these between phases.
+  std::atomic<bool> cycle_open_{false};
+  // Odd while a phase is accepting workers, even between phases; workers
+  // remember the last phase they worked so one proc enters each phase once.
+  std::atomic<std::uint64_t> phase_seq_{0};
+
+  // Phase state (reset by run_phase before the phase opens).
+  std::uint64_t* from_lo_ = nullptr;
+  std::uint64_t* from_hi_ = nullptr;
+  std::uint64_t* to_base_ = nullptr;
+  std::size_t to_words_ = 0;
+  std::atomic<std::size_t> frontier_off_{0};
+  std::span<std::uint64_t* const> root_slots_;
+  std::atomic<std::size_t> root_cursor_{0};
+
+  std::atomic<int> entered_{0};
+  std::atomic<int> idle_{0};
+  std::atomic<bool> done_{false};
+  // Workers currently inside run_worker; the collector waits for zero after
+  // closing a phase so per-phase state is never reset under a straggler.
+  std::atomic<int> active_{0};
+
+  arch::TasWord overflow_lock_;
+  std::vector<Region> overflow_;
+  // Mirror of overflow_.size(), so idle workers can poll for work without
+  // taking the lock.
+  std::atomic<std::size_t> overflow_size_{0};
+  std::atomic<std::uint64_t> publish_seq_{0};
+
+  // Phase totals (flushed by workers before going idle, so they are complete
+  // the moment the termination detector fires).
+  std::atomic<std::uint64_t> live_words_{0};
+  std::atomic<std::uint64_t> pad_words_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> pushes_{0};
+  std::atomic<std::uint64_t> term_rounds_{0};
+  struct alignas(arch::kCacheLine) PaddedWord {
+    std::atomic<std::uint64_t> v{0};
+  };
+  PaddedWord worker_words_[kMaxWorkers];
+};
+
+}  // namespace mp::gc

@@ -8,20 +8,27 @@ namespace mp::metrics {
 namespace {
 
 constexpr const char* kCounterNames[kNumCounters] = {
-    "lock_acquires",      "lock_contended",   "lock_spin_iters",
-    "lock_backoff_rounds", "gc_minor",        "gc_major",
-    "gc_pause_us_total",  "gc_words_copied",  "gc_chunk_grabs",
-    "gc_chunk_steals",    "gc_large_allocs",  "sched_dispatches",
-    "sched_preempts",     "sched_forks",      "sched_yields",
-    "sched_idle_polls",   "sched_timer_fires", "sched_idle_backoff",
-    "cml_sends",          "cml_recvs",        "cml_select_retries",
-    "cml_offers_parked",  "io_wakeups",       "io_dispatch_batches",
-    "io_parked",          "io_notifies",      "io_eintr_retries",
-    "io_bytes_read",      "io_bytes_written", "trace_dropped",
+    "lock_acquires",         "lock_contended",        "lock_spin_iters",
+    "lock_backoff_rounds",   "gc_minor",              "gc_major",
+    "gc_pause_us_total",     "gc_words_copied",       "gc_words_copied_minor",
+    "gc_words_copied_major", "gc_alloc_words",        "gc_allocs",
+    "gc_stores_recorded",    "gc_chunk_grabs",        "gc_chunk_steals",
+    "gc_large_allocs",       "gc_par_collections",    "gc_par_workers",
+    "gc_par_steals",         "gc_par_overflow_pushes", "gc_par_pad_words",
+    "gc_par_term_rounds",    "sched_dispatches",      "sched_preempts",
+    "sched_forks",           "sched_yields",          "sched_idle_polls",
+    "sched_timer_fires",     "sched_idle_backoff",    "cml_sends",
+    "cml_recvs",             "cml_select_retries",    "cml_offers_parked",
+    "io_wakeups",            "io_dispatch_batches",   "io_parked",
+    "io_notifies",           "io_eintr_retries",      "io_bytes_read",
+    "io_bytes_written",      "trace_dropped",
 };
 
 constexpr const char* kHistoNames[kNumHistos] = {
     "gc_pause_us",
+    "gc_par_worker_words",
+    "gc_par_steals_per_gc",
+    "gc_par_term_rounds_per_gc",
     "lock_spin_iters",
     "run_queue_depth",
     "io_wait_us",

@@ -37,14 +37,28 @@ enum class Counter : std::uint32_t {
   kLockContended,      // acquisitions that had to spin at least once
   kLockSpinIters,      // total failed test-and-set retries while spinning
   kLockBackoffRounds,  // exponential-backoff delays taken while spinning
-  // Heap (gc/heap.cpp).
+  // Heap (gc/heap.cpp).  The structural counters double as the storage
+  // behind Heap::stats() and are counted through the always-on tier (see
+  // count_always below), so heap statistics survive MPNJ_METRICS=0.
   kGcMinor,          // minor (nursery) collections
   kGcMajor,          // major (semispace) collections
   kGcPauseUsTotal,   // total stop-the-world pause, integer microseconds
   kGcWordsCopied,    // live words copied by collections
+  kGcWordsCopiedMinor,  // live words promoted by minor collections
+  kGcWordsCopiedMajor,  // live words moved between semispaces by majors
+  kGcAllocWords,     // heap words allocated (header + fields)
+  kGcAllocs,         // allocation operations
+  kGcStores,         // old-generation stores recorded on the store list
   kGcChunkGrabs,     // nursery chunks claimed by procs
   kGcChunkSteals,    // chunk grabs beyond a proc's fair share (paper "steal")
   kGcLargeAllocs,    // allocations that bypassed the nursery
+  // Parallel collection (gc/parallel_copy.cpp).
+  kGcParCollections,    // collections that ran the parallel copier
+  kGcParWorkers,        // workers that participated, summed over collections
+  kGcParSteals,         // scan blocks stolen from the shared overflow stack
+  kGcParOverflowPushes, // surplus grey blocks published to the overflow stack
+  kGcParPadWords,       // to-space words lost to block-tail padding
+  kGcParTermRounds,     // termination-detector rounds (steal-fail passes)
   // Thread package (threads/scheduler.cpp).
   kSchedDispatches,  // threads resumed by a dispatch loop
   kSchedPreempts,    // preemption signals acted upon
@@ -79,6 +93,9 @@ const char* counter_name(Counter c);
 // enough for anything from spin iterations to pause times in microseconds.
 enum class Histo : std::uint32_t {
   kGcPauseUs,      // stop-the-world pause per collection (wall microseconds)
+  kGcParWorkerWords,  // words copied per worker per parallel collection
+  kGcParSteals,       // overflow-stack steals per parallel collection
+  kGcParTermRounds,   // termination-detector rounds per parallel collection
   kLockSpinIters,  // spin iterations per contended acquisition
   kRunQueueDepth,  // ready-queue length observed at each dispatch
   kIoWaitUs,       // parked time per woken I/O waiter (microseconds)
@@ -156,6 +173,18 @@ class Registry {
         n, std::memory_order_relaxed);
   }
 
+  // Always-on tier: structural runtime statistics (heap collection counts,
+  // allocation totals) that Heap::stats() and the benchmark reports are
+  // built from.  These bypass the enable flag — they are bookkeeping the
+  // runtime itself relies on, not optional observability — and they remain
+  // live under -DMPNJ_METRICS=0 builds (the seed kept the same counts as
+  // plain per-proc fields, so the cost is unchanged: a relaxed add on a
+  // slot owned by the current proc).
+  void count_always(Counter c, std::uint64_t n = 1) {
+    slot().counters[static_cast<std::size_t>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
   void record(Histo h, std::uint64_t value) {
     if (!enabled()) return;
     Slot& s = slot();
@@ -189,6 +218,9 @@ Registry& registry();
 inline void count_event(Counter c, std::uint64_t n = 1) {
   registry().count(c, n);
 }
+inline void count_event_always(Counter c, std::uint64_t n = 1) {
+  registry().count_always(c, n);
+}
 inline void record_value(Histo h, std::uint64_t value) {
   registry().record(h, value);
 }
@@ -206,3 +238,8 @@ inline void record_value(Histo h, std::uint64_t value) {
 #define MPNJ_METRIC_COUNT(c, n) ((void)0)
 #define MPNJ_METRIC_RECORD(h, v) ((void)0)
 #endif
+
+// Always-on tier: live in every build configuration (Heap::stats() and the
+// benchmark reports depend on these counts being real).
+#define MPNJ_METRIC_COUNT_ALWAYS(c, n) \
+  ::mp::metrics::count_event_always(::mp::metrics::Counter::c, (n))

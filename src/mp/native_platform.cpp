@@ -283,17 +283,42 @@ void NativePlatform::park_for_gc(NProc& p) {
   const RunState prev = p.rstate.exchange(RunState::kParked);
   MPNJ_CHECK(prev == RunState::kActive, "parking a non-active proc");
   gc_cv_.notify_all();  // the collector may be waiting on our transition
-  gc_cv_.wait(lk, [&] { return !world_stop_.load(std::memory_order_acquire); });
+  while (world_stop_.load(std::memory_order_acquire)) {
+    if (gc_work_fn_ && p.gc_epoch_seen != gc_epoch_) {
+      // Join the collection as a worker (once per epoch).  The fn spins at
+      // the copier's gate until the collector opens the first phase and
+      // returns when the heap ends the cycle — all before resume_world, so
+      // dropping gc_mutex_ here never lets this proc escape the rendezvous.
+      p.gc_epoch_seen = gc_epoch_;
+      const gc::WorkerFn fn = gc_work_fn_;
+      lk.unlock();
+      fn();
+      lk.lock();
+      continue;
+    }
+    gc_cv_.wait(lk, [&] {
+      return !world_stop_.load(std::memory_order_acquire) ||
+             (gc_work_fn_ && p.gc_epoch_seen != gc_epoch_);
+    });
+  }
   p.rstate.store(RunState::kActive, std::memory_order_release);
 }
 
-void NativePlatform::stop_world() {
+void NativePlatform::stop_world(gc::WorkerFn work) {
   NProc& me = static_cast<NProc&>(self());
-  collector_.store(me.id, std::memory_order_release);
-  world_stop_.store(true, std::memory_order_release);
+  {
+    // Publish the worker entry before the stop flag: a proc that parks the
+    // instant world_stop_ flips must already see the fn and epoch.
+    std::unique_lock<std::mutex> lk(gc_mutex_);
+    gc_work_fn_ = std::move(work);
+    gc_epoch_++;
+    collector_.store(me.id, std::memory_order_release);
+    world_stop_.store(true, std::memory_order_release);
+  }
   // Interrupt any proc blocked in the I/O reactor so it parks promptly.
   run_wake_hook();
   std::unique_lock<std::mutex> lk(gc_mutex_);
+  gc_cv_.notify_all();  // parked procs re-check for the new epoch's fn
   gc_cv_.wait(lk, [&] {
     for (const auto& p : procs_) {
       if (p->id == me.id) continue;
@@ -310,6 +335,7 @@ void NativePlatform::resume_world() {
     std::unique_lock<std::mutex> lk(gc_mutex_);
     world_stop_.store(false, std::memory_order_release);
     collector_.store(-1, std::memory_order_release);
+    gc_work_fn_ = nullptr;
   }
   gc_cv_.notify_all();
 }
@@ -318,7 +344,12 @@ void NativePlatform::charge_gc(std::uint64_t) {}
 
 void NativePlatform::charge_alloc(std::uint64_t) {}
 
-void NativePlatform::gc_yield() { safe_point(); }
+void NativePlatform::rendezvous_and_work(const gc::WorkerFn& work) {
+  // The registered epoch fn (identical to `work`) is run by park_for_gc, so
+  // reaching the clean point is joining the collection.
+  (void)work;
+  safe_point();
+}
 
 int NativePlatform::cur_proc() {
   return tl_proc != nullptr ? tl_proc->id : -1;

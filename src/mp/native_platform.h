@@ -45,15 +45,17 @@ class NativePlatform final : public Platform {
   arch::Rng& rng() override;
   void set_preempt_interval(double us) override;
 
-  // ---- CollectorHooks ----
-  void stop_world() override;
+  // ---- gc::Rendezvous ----
+  void stop_world(gc::WorkerFn work) override;
   void resume_world() override;
-  void charge_gc(std::uint64_t words_copied) override;
-  void charge_alloc(std::uint64_t words) override;
-  void gc_yield() override;
+  void rendezvous_and_work(const gc::WorkerFn& work) override;
   int cur_proc() override;
   int nproc() override;
   cont::ExecContext* proc_exec(int id) override;
+
+  // ---- gc::Accounting (real hardware: the computation is the cost) ----
+  void charge_gc(std::uint64_t words_copied) override;
+  void charge_alloc(std::uint64_t words) override;
 
  protected:
   ProcRec& self() override;
@@ -72,6 +74,9 @@ class NativePlatform final : public Platform {
     bool has_work = false;
     std::atomic<RunState> rstate{RunState::kIdle};
     arch::Rng prng;
+    // Last collection epoch whose worker fn this proc ran (under gc_mutex_);
+    // ensures one worker entry per proc per stop-the-world.
+    std::uint64_t gc_epoch_seen = 0;
   };
 
   void proc_loop(NProc& p);  // idle loop shared by pool threads and proc 0
@@ -88,6 +93,11 @@ class NativePlatform final : public Platform {
   std::atomic<int> collector_{-1};
   std::mutex gc_mutex_;
   std::condition_variable gc_cv_;
+  // Worker entry for the current collection and its epoch (both guarded by
+  // gc_mutex_).  Parked procs run the fn once per epoch, becoming collection
+  // workers instead of idling out the stop-the-world.
+  gc::WorkerFn gc_work_fn_;
+  std::uint64_t gc_epoch_ = 0;
 
   // Preemption ticker.
   std::thread ticker_;

@@ -88,7 +88,10 @@ struct ProcRec {
   bool active = false;  // currently holding a processor for a client
 };
 
-class Platform : public gc::CollectorHooks {
+// Every backend implements both halves of the collector-facing API: the
+// gc::Rendezvous stop-the-world / worker-routing protocol and the
+// gc::Accounting cost charges (gc/hooks.h).
+class Platform : public gc::Rendezvous, public gc::Accounting {
  public:
   ~Platform() override = default;
 
@@ -187,7 +190,7 @@ class Platform : public gc::CollectorHooks {
  protected:
   Platform() = default;
   void init_heap(const gc::HeapConfig& config) {
-    heap_ = std::make_unique<gc::Heap>(config, *this);
+    heap_ = std::make_unique<gc::Heap>(config, *this, *this);
   }
 
   virtual ProcRec& self() = 0;

@@ -247,7 +247,14 @@ void SimPlatform::on_timer(int id) {
 
 // ----- collector hooks -----
 
-void SimPlatform::stop_world() { engine_->stop_world(); }
+void SimPlatform::stop_world(gc::WorkerFn work) {
+  // All simulated procs are fibers of one kernel thread, so a parked proc
+  // cannot run `work` concurrently with the collector; drop the fn and model
+  // the parallel speedup in charge_gc instead (the collector proc does all
+  // the real copying either way).
+  (void)work;
+  engine_->stop_world();
+}
 
 void SimPlatform::resume_world() { engine_->resume_world(); }
 
@@ -255,8 +262,16 @@ void SimPlatform::charge_gc(std::uint64_t words_copied) {
   const auto& m = cfg_.machine;
   const double t0 = engine_->now();
   const double w = static_cast<double>(words_copied);
-  engine_->charge_us(m.gc_sync_us);
-  engine_->charge_instr(w * m.gc_instr_per_word);
+  // With parallel collection every stopped proc is a copying worker, so the
+  // instruction cost divides across them — but the shared bus does not: the
+  // same bytes move either way, which is what bounds the modeled speedup.
+  // Each extra worker also pays a per-worker rendezvous/termination cost.
+  int workers = 1;
+  if (cfg_.heap.parallel_gc) workers += engine_->num_stopped();
+  engine_->charge_us(m.gc_sync_us +
+                     m.gc_par_sync_us_per_worker * (workers - 1));
+  engine_->charge_instr(w * m.gc_instr_per_word /
+                        static_cast<double>(workers));
   engine_->bus_transfer(w * m.gc_bus_bytes_per_word);
   engine_->stats(engine_->current()).gc_us += engine_->now() - t0;
 }
@@ -274,7 +289,12 @@ void SimPlatform::charge_alloc(std::uint64_t words) {
   engine_->bus_transfer(w * m.alloc_bus_bytes_per_word * miss_factor);
 }
 
-void SimPlatform::gc_yield() { engine_->safe_point(); }
+void SimPlatform::rendezvous_and_work(const gc::WorkerFn& work) {
+  // Parking suffices: the engine accounts the wait as gc_wait_us and the
+  // collector's charge_gc models this proc's share of the copying work.
+  (void)work;
+  engine_->safe_point();
+}
 
 int SimPlatform::cur_proc() { return engine_->current(); }
 

@@ -70,15 +70,20 @@ class SimPlatform final : public Platform {
   arch::Rng& rng() override;
   void set_preempt_interval(double us) override;
 
-  // ---- CollectorHooks ----
-  void stop_world() override;
+  // ---- gc::Rendezvous ----
+  // The simulation runs every proc on one kernel thread, so parked fibers
+  // cannot actually execute the worker fn: the collecting proc is the only
+  // real worker and parallel collection is modeled in charge_gc instead.
+  void stop_world(gc::WorkerFn work) override;
   void resume_world() override;
-  void charge_gc(std::uint64_t words_copied) override;
-  void charge_alloc(std::uint64_t words) override;
-  void gc_yield() override;
+  void rendezvous_and_work(const gc::WorkerFn& work) override;
   int cur_proc() override;
   int nproc() override;
   cont::ExecContext* proc_exec(int id) override;
+
+  // ---- gc::Accounting ----
+  void charge_gc(std::uint64_t words_copied) override;
+  void charge_alloc(std::uint64_t words) override;
 
   // ---- simulation access ----
   sim::Engine& engine() { return *engine_; }

@@ -42,15 +42,18 @@ class UniPlatform final : public Platform {
   arch::Rng& rng() override { return rng_; }
   void set_preempt_interval(double us) override;
 
-  // ---- CollectorHooks (a one-proc world never needs to stop) ----
-  void stop_world() override {}
+  // ---- gc::Rendezvous (a one-proc world never needs to stop; the
+  // collecting proc is the collection's single, degenerate worker) ----
+  void stop_world(gc::WorkerFn) override {}
   void resume_world() override {}
-  void charge_gc(std::uint64_t) override {}
-  void charge_alloc(std::uint64_t) override {}
-  void gc_yield() override {}
+  void rendezvous_and_work(const gc::WorkerFn&) override {}
   int cur_proc() override { return running_ ? 0 : -1; }
   int nproc() override { return 1; }
   cont::ExecContext* proc_exec(int) override { return &proc_.exec; }
+
+  // ---- gc::Accounting ----
+  void charge_gc(std::uint64_t) override {}
+  void charge_alloc(std::uint64_t) override {}
 
  protected:
   ProcRec& self() override;

@@ -276,6 +276,14 @@ int Engine::num_idle() const {
   return n;
 }
 
+int Engine::num_stopped() const {
+  int n = 0;
+  for (const auto& p : procs_) {
+    if (p->state == PState::kParked) n++;
+  }
+  return n;
+}
+
 void Engine::stop_world() {
   VProc& p = cur_proc();
   MPNJ_CHECK(!stop_requested_, "nested stop-the-world");

@@ -89,6 +89,9 @@ class Engine {
   void idle_wait();
   bool is_idle(int id) const;
   int num_idle() const;
+  // Procs currently parked at a clean point for a collection (excludes the
+  // collector itself); the platform's parallel-GC cost model reads this.
+  int num_stopped() const;
 
   // ---- stop-the-world rendezvous (GC clean points, paper section 5) ----
   // Called by the collecting proc: returns once every other started proc is

@@ -51,6 +51,9 @@ struct MachineModel {
   double gc_instr_per_word = 20.0;      // sequential copy cost per live word
   double gc_bus_bytes_per_word = 8.0;   // read from-space + write to-space
   double gc_sync_us = 120.0;            // clean-point rendezvous overhead
+  // Extra rendezvous/termination overhead per additional parallel-GC worker
+  // (block hand-out, steal traffic, the two-phase termination barrier).
+  double gc_par_sync_us_per_worker = 40.0;
 
   // --- scheduling of the simulation itself ---
   double granularity_us = 0.0;  // extra slack before forcing a proc switch

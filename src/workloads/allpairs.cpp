@@ -76,10 +76,15 @@ class Allpairs final : public Workload {
           for (int j = 0; j < n_; j++) {
             int v = at(dist_, i, j);
             if (dik < kInf) {
-              const int cand = dik + at(dist_, k, j);  // row k is stable
-              if (cand < v) v = cand;
+              const int cand = dik + at(dist_, k, j);
+              // Store only on improvement: row k never improves during
+              // iteration k (d[k][k] = 0), so the rows other tasks are
+              // reading are never written.
+              if (cand < v) {
+                v = cand;
+                at(dist_, i, j) = v;
+              }
             }
-            at(dist_, i, j) = v;
             h.store(row[0], static_cast<std::size_t>(j), Value::from_int(v));
           }
           p.work(n_ * 6.0);  // min/add per element

@@ -23,6 +23,7 @@ SimRunResult run_sim(const SimRunSpec& spec) {
   }
   cfg.heap.nursery_bytes = spec.nursery_bytes;
   cfg.heap.old_bytes = spec.old_bytes;
+  cfg.heap.parallel_gc = spec.parallel_gc;
   cfg.lock_backoff_base_us = spec.lock_backoff_us;
   SimPlatform platform(cfg);
 

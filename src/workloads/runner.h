@@ -17,7 +17,11 @@ struct SimRunSpec {
   std::string workload = "mm";
   sim::MachineModel machine = sim::sequent_s81(16);
   std::size_t nursery_bytes = 2u << 20;
-  std::size_t old_bytes = 48u << 20;
+  std::size_t old_bytes = 64u << 20;  // must be a power of two (HeapConfig)
+  // Model every stopped proc as a parallel-GC copying worker (the
+  // gc::ParallelCopier protocol); false reproduces the paper's sequential
+  // collector.
+  bool parallel_gc = false;
   // Signal-based preemption quantum (a 1990s Unix scheduling tick).
   double preempt_interval_us = 20000;
   bool hold_procs = true;

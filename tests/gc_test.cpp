@@ -24,16 +24,22 @@ using mp::gc::Value;
 
 // Single-proc harness: a ManualProc (as in cont_test) plus trivial collector
 // hooks, so heap behaviour can be tested in isolation from the platform.
-class TestHooks : public mp::gc::CollectorHooks {
+// One-proc world: nothing to stop, and the collecting proc is the
+// collection's single (degenerate) parallel worker, so the worker fn passed
+// to stop_world is dropped.
+class TestHooks : public mp::gc::Rendezvous, public mp::gc::Accounting {
  public:
-  void stop_world() override { stops++; }
+  // ---- gc::Rendezvous ----
+  void stop_world(mp::gc::WorkerFn) override { stops++; }
   void resume_world() override {}
-  void charge_gc(std::uint64_t words) override { gc_words += words; }
-  void charge_alloc(std::uint64_t words) override { alloc_words += words; }
-  void gc_yield() override {}
+  void rendezvous_and_work(const mp::gc::WorkerFn&) override {}
   int cur_proc() override { return 0; }
   int nproc() override { return 1; }
   mp::cont::ExecContext* proc_exec(int) override { return exec; }
+
+  // ---- gc::Accounting ----
+  void charge_gc(std::uint64_t words) override { gc_words += words; }
+  void charge_alloc(std::uint64_t words) override { alloc_words += words; }
 
   mp::cont::ExecContext* exec = nullptr;
   std::uint64_t gc_words = 0;
@@ -52,10 +58,15 @@ class GcTest : public ::testing::Test {
 
   Heap& make_heap(std::size_t nursery_bytes = 64 * 1024,
                   std::size_t old_bytes = 1 << 20) {
-    HeapConfig cfg;
-    cfg.nursery_bytes = nursery_bytes;
-    cfg.old_bytes = old_bytes;
-    heap_ = std::make_unique<Heap>(cfg, hooks_);
+    const HeapConfig cfg = HeapConfig{}
+                               .with_nursery_bytes(nursery_bytes)
+                               .with_old_bytes(old_bytes);
+    heap_ = std::make_unique<Heap>(cfg, hooks_, hooks_);
+    return *heap_;
+  }
+
+  Heap& make_heap_cfg(const HeapConfig& cfg) {
+    heap_ = std::make_unique<Heap>(cfg, hooks_, hooks_);
     return *heap_;
   }
 
@@ -425,7 +436,129 @@ TEST_F(GcTest, VerifyDetectsACorruptedHeader) {
   });
 }
 
+// ---------- configuration ----------
+
+TEST_F(GcTest, HeapConfigNamedSettersChain) {
+  HeapConfig cfg;
+  cfg.with_nursery_bytes(128 * 1024)
+      .with_chunks_per_proc(2)
+      .with_old_bytes(2u << 20)
+      .with_major_fraction(0.5)
+      .with_parallel_gc(true)
+      .with_par_block_words(256);
+  EXPECT_EQ(cfg.nursery_bytes, 128u * 1024);
+  EXPECT_EQ(cfg.chunks_per_proc, 2u);
+  EXPECT_EQ(cfg.old_bytes, 2u << 20);
+  EXPECT_DOUBLE_EQ(cfg.major_fraction, 0.5);
+  EXPECT_TRUE(cfg.parallel_gc);
+  EXPECT_EQ(cfg.par_block_words, 256u);
+  cfg.validate();  // must not panic
+  Heap& h = make_heap_cfg(cfg);
+  EXPECT_TRUE(h.config().parallel_gc);
+  EXPECT_EQ(h.config().par_block_words, 256u);
+}
+
+// ---------- parallel collection (degenerate one-worker world) ----------
+
+// The same object graph must survive collection identically whether the
+// phase runs through gc::ParallelCopier (here with the collecting proc as
+// the single worker) or the paper's sequential Cheney scan.
+TEST_F(GcTest, ParallelAndSequentialCollectionAgree) {
+  auto run_mode = [&](bool parallel) -> std::uint64_t {
+    const HeapConfig cfg = HeapConfig{}
+                               .with_nursery_bytes(64 * 1024)
+                               .with_old_bytes(1u << 20)
+                               .with_parallel_gc(parallel)
+                               .with_par_block_words(64);
+    Heap& h = make_heap_cfg(cfg);
+    std::uint64_t sum = 0;
+    on_proc([&] {
+      Roots<2> r;
+      // A list with shared substructure plus an array of refs into it.
+      r[0] = Value::nil();
+      for (int i = 0; i < 200; i++) {
+        r[0] = h.cons(h.alloc_record({Value::from_int(i)}), r[0]);
+      }
+      r[1] = h.alloc_array(16, r[0]);
+      h.collect_now();
+      h.collect_now(/*force_major=*/true);
+      std::string err;
+      EXPECT_TRUE(h.verify(&err)) << err;
+      for (Value p = r[1].field(7); !p.is_nil(); p = p.field(1)) {
+        sum = sum * 31 + static_cast<std::uint64_t>(p.field(0).field(0).as_int());
+      }
+      EXPECT_EQ(r[1].field(0).raw_bits(), r[1].field(15).raw_bits())
+          << "shared list head must be forwarded to one copy";
+    });
+    return sum;
+  };
+  const std::uint64_t par = run_mode(true);
+  const std::uint64_t seq = run_mode(false);
+  EXPECT_EQ(par, seq);
+  EXPECT_NE(par, 0u);
+}
+
+// Block tails left by the parallel copier are padded with untraced filler
+// objects, so the old generation still parses linearly and the live words
+// reported by the copier never exceed the space consumed.
+TEST_F(GcTest, ParallelCollectionPadsParse) {
+  const HeapConfig cfg = HeapConfig{}
+                             .with_nursery_bytes(64 * 1024)
+                             .with_old_bytes(1u << 20)
+                             .with_parallel_gc(true)
+                             .with_par_block_words(64);
+  Heap& h = make_heap_cfg(cfg);
+  on_proc([&] {
+    Roots<1> r;
+    r[0] = Value::nil();
+    for (int i = 0; i < 500; i++) {
+      r[0] = h.cons(Value::from_int(i), r[0]);
+    }
+    h.collect_now();
+    std::string err;
+    ASSERT_TRUE(h.verify(&err)) << err;
+    const auto s = h.stats();
+    EXPECT_GE(h.old_space_used_words(), s.words_copied_minor)
+        << "pads count toward space used but not toward words copied";
+    // All 500 cons cells (3 words each) survived.
+    EXPECT_GE(s.words_copied_minor, 1500u);
+    int n = 0;
+    for (Value p = r[0]; !p.is_nil(); p = p.field(1)) n++;
+    EXPECT_EQ(n, 500);
+  });
+}
+
 using GcDeathTest = GcTest;
+
+TEST_F(GcDeathTest, ZeroChunkNurseryPanics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(HeapConfig{}.with_chunks_per_proc(0).validate(),
+               "chunks_per_proc");
+}
+
+TEST_F(GcDeathTest, NonPowerOfTwoNurseryPanics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(HeapConfig{}.with_nursery_bytes(3 * 1024).validate(),
+               "power of two");
+}
+
+TEST_F(GcDeathTest, NonPowerOfTwoOldSpacePanics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(HeapConfig{}.with_old_bytes(48u << 20).validate(),
+               "power of two");
+}
+
+TEST_F(GcDeathTest, BadMajorFractionPanics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(HeapConfig{}.with_major_fraction(0.0).validate(),
+               "major_fraction");
+}
+
+TEST_F(GcDeathTest, TinyParBlockPanics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(HeapConfig{}.with_par_block_words(32).validate(),
+               "par_block_words");
+}
 
 TEST_F(GcDeathTest, AllocationOffProcPanics) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";

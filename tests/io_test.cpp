@@ -382,6 +382,94 @@ TEST(Reactor, GcCompletesWhileThreadParkedOnSocket) {
   });
 }
 
+// Heavier variant of the test above, and the CI gc-stress workload: four
+// procs, several threads parked against silent sockets, several threads
+// allocating linked structures, with forced major collections mixed into the
+// automatic minors.  Run with the parallel copier both on and off so the
+// rendezvous worker dispatch and the sequential fallback both see the same
+// churn (the TSan leg runs this test too).
+void gc_stress_run(bool parallel_gc) {
+  mp::NativePlatformConfig cfg;
+  cfg.max_procs = 4;
+  cfg.heap.nursery_bytes = 64 * 1024;  // force frequent minor collections
+  cfg.heap.old_bytes = 2u << 20;
+  cfg.heap.parallel_gc = parallel_gc;  // explicit: ignore MPNJ_GC_PARALLEL
+  mp::NativePlatform plat(cfg);
+  run_threads(plat, [&](Scheduler& sched) {
+    Reactor reactor(sched);
+    Listener lis = Listener::tcp(reactor);
+    constexpr int kReaders = 2;
+    constexpr int kAllocators = 3;
+    constexpr int kRounds = 6;
+    constexpr int kCells = 400;
+    CountdownLatch accepted(sched, kReaders);
+    CountdownLatch readers_done(sched, kReaders);
+    std::vector<Stream> servers(kReaders);
+    std::vector<Stream> clients;
+    for (int i = 0; i < kReaders; i++) {
+      sched.fork([&, i] {
+        servers[static_cast<std::size_t>(i)] = lis.accept();
+        accepted.count_down();
+      });
+    }
+    for (int i = 0; i < kReaders; i++) {
+      clients.push_back(Stream::connect_tcp(reactor, lis.port()));
+    }
+    accepted.await();
+    for (int i = 0; i < kReaders; i++) {
+      Stream c = clients[static_cast<std::size_t>(i)];
+      sched.fork([&, c]() mutable {
+        char b;
+        ASSERT_EQ(c.read_some(&b, 1), 1u);  // parks until the final write
+        readers_done.count_down();
+      });
+    }
+
+    auto& h = sched.platform().heap();
+    std::atomic<bool> sums_ok{true};
+    CountdownLatch allocs_done(sched, kAllocators);
+    for (int t = 0; t < kAllocators; t++) {
+      sched.fork([&, t] {
+        constexpr long kWant = static_cast<long>(kCells) * (kCells - 1) / 2;
+        for (int round = 0; round < kRounds; round++) {
+          mp::gc::Roots<1> r;
+          r[0] = mp::gc::Value::nil();
+          for (int i = 0; i < kCells; i++) {
+            r[0] = h.cons(h.alloc_record({mp::gc::Value::from_int(i)}), r[0]);
+            sched.platform().work(2);
+          }
+          // One thread folds forced collections (alternating minor-only and
+          // major) into everyone else's automatic minors.
+          if (t == 0) h.collect_now(/*force_major=*/(round % 2) == 1);
+          long sum = 0;
+          for (mp::gc::Value p = r[0]; !p.is_nil(); p = p.field(1)) {
+            sum += p.field(0).field(0).as_int();
+          }
+          if (sum != kWant) sums_ok = false;
+        }
+        allocs_done.count_down();
+      });
+    }
+    allocs_done.await();
+    EXPECT_TRUE(sums_ok) << "a collection corrupted a live list";
+    const auto s = h.stats();
+    EXPECT_GT(s.minor_gcs, 0u);
+    EXPECT_GT(s.major_gcs, 0u);
+
+    for (auto& sv : servers) sv.write_all("x", 1);
+    readers_done.await();
+    for (auto& c : clients) c.close();
+    for (auto& sv : servers) sv.close();
+    lis.close();
+  });
+  std::string err;
+  EXPECT_TRUE(plat.heap().verify(&err)) << err;
+}
+
+TEST(Reactor, GcStressParallelWithParkedReaders) { gc_stress_run(true); }
+
+TEST(Reactor, GcStressSequentialWithParkedReaders) { gc_stress_run(false); }
+
 // ---------- CML select: channel vs timer vs stream readiness ----------
 
 struct SelectCounts {

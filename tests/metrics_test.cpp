@@ -64,6 +64,21 @@ TEST(Registry, DisabledDropsEverything) {
   EXPECT_EQ(r.snapshot().counter(Counter::kLockAcquires), 1u);
 }
 
+// The always-on tier backs Heap::stats(): structural GC counters must keep
+// counting when the observability tier is disabled (MPNJ_METRICS=0), or the
+// heap would lose track of its own collections.
+TEST(Registry, CountAlwaysBypassesDisable) {
+  Registry r;
+  r.set_enabled(false);
+  r.count(Counter::kGcMinor, 5);         // observability tier: dropped
+  r.count_always(Counter::kGcMinor, 2);  // structural tier: kept
+  const Snapshot s = r.snapshot();
+  EXPECT_EQ(s.counter(Counter::kGcMinor), 2u);
+  r.set_enabled(true);
+  r.count_always(Counter::kGcMinor);
+  EXPECT_EQ(r.snapshot().counter(Counter::kGcMinor), 3u);
+}
+
 TEST(Registry, ResetClears) {
   Registry r;
   r.count(Counter::kSchedForks, 7);
