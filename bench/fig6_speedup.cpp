@@ -4,18 +4,26 @@
 // procs held for the duration).  All measurements include garbage
 // collection time, as in the paper.
 
+#include <cstdlib>
+
 #include "bench_util.h"
 
 using namespace mp::workloads;
 
 int main(int argc, char** argv) {
   const bool quick = bench::flag(argc, argv, "--quick");
+  // MPNJ_QUEUE overrides the evaluated distributed run queue, so the same
+  // curves can be regenerated under the work-stealing / central disciplines.
+  const char* queue_env = std::getenv("MPNJ_QUEUE");
   bench::header(
       "F6", "self-relative speedup on the simulated Sequent Symmetry S81",
       "mm shows excellent speedup limited by allocation bus traffic and "
       "tracks seq; allpairs/mst/abisort are limited by sequential GC and "
       "available parallelism; simple is worst (idle procs)");
 
+  if (queue_env != nullptr && *queue_env != '\0') {
+    std::printf("queue discipline: %s\n", queue_env);
+  }
   const std::vector<int> grid = bench::sequent_grid(quick);
   std::printf("%-9s", "procs");
   for (const int p : grid) std::printf("%8d", p);
@@ -28,6 +36,7 @@ int main(int argc, char** argv) {
         std::string("allpairs"), std::string("mst"), std::string("simple")}) {
     SimRunSpec spec;
     spec.workload = w;
+    if (queue_env != nullptr && *queue_env != '\0') spec.queue = queue_env;
     const auto sweep = sweep_procs(spec, grid);
     bool ok = true;
     std::printf("%-9s", w.c_str());

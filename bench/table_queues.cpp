@@ -2,27 +2,110 @@
 // scheduling policy can be changed simply by varying the functor's
 // argument", and section 6's evaluated package uses a distributed run
 // queue).  Runs the fork/join-heavy abisort benchmark under each ready-queue
-// discipline and reports elapsed time and run-queue lock spinning.
+// discipline — the central queues of Figure 3, the paper's distributed
+// lock-per-proc queues, and this package's lock-free work-stealing deques —
+// and reports simulated elapsed time / run-queue lock spinning plus a
+// native 4-proc enq/deq op-throughput comparison.
+//
+// MPNJ_QUEUE=<name>[|<name>...] restricts both sections to the named
+// disciplines (the CI sched-stress leg runs one discipline per job).
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "arch/tas.h"
 #include "bench_util.h"
+#include "mp/native_platform.h"
+#include "workloads/workload.h"
 
 using namespace mp::workloads;
+
+namespace {
+
+// True when `queue` is selected by the MPNJ_QUEUE env filter (unset = all).
+bool selected(const char* queue) {
+  const char* env = std::getenv("MPNJ_QUEUE");
+  if (env == nullptr || *env == '\0') return true;
+  const std::size_t len = std::strlen(queue);
+  for (const char* p = env; (p = std::strstr(p, queue)) != nullptr; p += len) {
+    const bool starts = p == env || p[-1] == '|' || p[-1] == ',';
+    const bool ends = p[len] == '\0' || p[len] == '|' || p[len] == ',';
+    if (starts && ends) return true;
+  }
+  return false;
+}
+
+// Ready-queue op throughput on `procs` native procs: every proc pushes and
+// pops bursts through the ReadyQueue interface, so the measured region is
+// the queue discipline itself — no context switches, GC, or dispatch-loop
+// overhead diluting the comparison (and no dependence on how the OS
+// timeslices oversubscribed procs, beyond the lock-holder preemption that
+// spin locks genuinely suffer and lock-free deques genuinely avoid).
+// Returns wall milliseconds for all procs to complete `ops` enq+deq pairs.
+double native_queue_ms(const char* qname, int procs, int ops) {
+  mp::NativePlatformConfig cfg;
+  cfg.max_procs = procs;
+  mp::NativePlatform platform(cfg);
+  double ms = -1;
+  platform.run([&] {
+    auto q = make_queue(qname);
+    q->init(platform);
+    std::atomic<int> done{0};
+    std::atomic<bool> go{false};
+    auto worker = [&] {
+      while (!go.load(std::memory_order_acquire)) mp::arch::cpu_relax();
+      constexpr int kBurst = 32;
+      for (int i = 0; i < ops;) {
+        for (int b = 0; b < kBurst && i < ops; b++, i++) {
+          q->enq(platform, mp::threads::ThreadState{mp::cont::ContRef(), i});
+        }
+        for (int b = 0; b < kBurst; b++) {
+          if (!q->deq(platform)) break;
+        }
+      }
+      while (q->deq(platform)) {
+      }
+      done.fetch_add(1, std::memory_order_acq_rel);
+    };
+    for (int i = 1; i < procs; i++) {
+      platform.try_acquire_entry(
+          [&] {
+            worker();
+            platform.release_proc();
+          },
+          0);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    worker();
+    while (done.load(std::memory_order_acquire) < procs) mp::arch::cpu_relax();
+    const auto t1 = std::chrono::steady_clock::now();
+    ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  });
+  return ms;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const bool quick = bench::flag(argc, argv, "--quick");
   bench::header("A-QUEUE", "ready-queue disciplines under fork/join load (abisort)",
                 "the evaluated thread package replaced Figure 3's central "
                 "queue with a distributed per-proc run queue to cut run-queue "
-                "lock contention");
+                "lock contention; this package's default goes one step "
+                "further to lock-free work-stealing deques");
   const std::vector<int> grid =
       quick ? std::vector<int>{4, 16} : std::vector<int>{2, 4, 8, 12, 16};
 
-  std::printf("%-12s", "queue");
+  std::printf("%-14s", "queue");
   for (const int p : grid) std::printf("   p=%-2d T(ms)/spin%%", p);
   std::printf("\n");
   bench::rule();
-  for (const char* queue : {"distributed", "fifo", "lifo", "random"}) {
-    std::printf("%-12s", queue);
+  for (const char* queue : {"ws", "ws-lifo", "distributed", "central-fifo",
+                            "central-lifo", "central-random"}) {
+    if (!selected(queue)) continue;
+    std::printf("%-14s", queue);
     for (const int p : grid) {
       SimRunSpec spec;
       spec.workload = "abisort";
@@ -41,6 +124,38 @@ int main(int argc, char** argv) {
   }
   bench::rule();
   std::printf("expected: central disciplines spin more on the single queue\n");
-  std::printf("lock as procs are added; distributed queues keep spin low\n");
+  std::printf("lock as procs are added; distributed queues keep spin low and\n");
+  std::printf("work stealing drops run-queue spinning to zero\n");
+
+  // ---- native procs: 4-proc ready-queue op throughput, best of 5 ----
+  const int procs = 4;
+  const int ops = quick ? 200000 : 500000;
+  std::printf(
+      "\nnative ready-queue ops (%d procs, %dk enq+deq pairs each, best of "
+      "5):\n",
+      procs, ops / 1000);
+  bench::rule();
+  double ws_ms = 0, dist_ms = 0;
+  for (const char* queue : {"ws", "distributed", "central-fifo"}) {
+    if (!selected(queue)) continue;
+    native_queue_ms(queue, procs, ops);  // warmup
+    double best = -1;
+    for (int rep = 0; rep < 5; rep++) {
+      const double ms = native_queue_ms(queue, procs, ops);
+      if (best < 0 || ms < best) best = ms;
+    }
+    const double mops = procs * ops / best / 1000.0;
+    std::printf("%-14s  %8.1f ms  %7.1f Mops/s\n", queue, best, mops);
+    if (std::strcmp(queue, "ws") == 0) ws_ms = best;
+    if (std::strcmp(queue, "distributed") == 0) dist_ms = best;
+  }
+  bench::rule();
+  if (ws_ms > 0 && dist_ms > 0) {
+    std::printf("work-stealing vs distributed-lock throughput: %.2fx %s\n",
+                dist_ms / ws_ms,
+                dist_ms / ws_ms >= 1.0 ? "(ws >= distributed)"
+                                       : "(ws SLOWER than distributed)");
+  }
+  bench::dump_metrics_json("table_queues");
   return 0;
 }

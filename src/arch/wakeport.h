@@ -1,0 +1,107 @@
+#pragma once
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+
+#ifdef __linux__
+#include <sys/eventfd.h>
+#endif
+
+#include "arch/sysio.h"
+
+// A cross-thread wakeup port: an eventfd (self-pipe on non-Linux) plus a
+// collapsing flag, so one side can kick a peer that is blocked in a kernel
+// wait (ppoll / epoll on the port's read end) from any OS thread, including
+// signal-adjacent contexts like the preemption ticker.  signal() is
+// async-thread-safe and bursts collapse into a single write, so the port
+// can never fill.  Shared by the io::Reactor's poller wakeup and the
+// per-proc park/unpark protocol of the native platform.
+
+namespace mp::arch {
+
+class WakePort {
+ public:
+  WakePort() = default;
+  WakePort(const WakePort&) = delete;
+  WakePort& operator=(const WakePort&) = delete;
+
+  ~WakePort() {
+    if (rfd_ >= 0) ::close(rfd_);
+    if (wfd_ >= 0 && wfd_ != rfd_) ::close(wfd_);
+  }
+
+  void open() {
+#ifdef __linux__
+    rfd_ = check_sys("eventfd",
+                     [] { return ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK); });
+    wfd_ = rfd_;
+#else
+    int p[2];
+    check_sys("pipe", [&] { return ::pipe(p); });
+    rfd_ = p[0];
+    wfd_ = p[1];
+    set_nonblocking(rfd_);
+    set_nonblocking(wfd_);
+#endif
+  }
+
+  // The fd a poller waits on for readability.
+  int rfd() const { return rfd_; }
+
+  bool pending() const {
+    return notified_.load(std::memory_order_acquire);
+  }
+
+  // Post a wakeup (async-thread-safe; callable while the peer is not
+  // waiting — the kick persists until consumed).
+  void signal() {
+    if (notified_.exchange(true, std::memory_order_acq_rel)) return;
+    const std::uint64_t one = 1;
+    ssize_t rc;
+    do {
+      rc = ::write(wfd_, &one, wfd_ == rfd_ ? sizeof(one) : 1);
+    } while (rc < 0 && errno == EINTR);
+  }
+
+  // Clear the flag and drain the fd; returns whether a signal had been
+  // posted since the last consume.  Clearing before draining keeps the
+  // usual self-pipe invariant: a signal() racing the drain re-writes, so a
+  // posted kick always leaves the fd readable or the flag set.
+  bool consume() {
+    const bool was = notified_.exchange(false, std::memory_order_acq_rel);
+    drain();
+    return was;
+  }
+
+  // Flag-clear + drain split for pollers that learned of the readiness
+  // from the demultiplexer itself.
+  void acknowledge(std::memory_order order = std::memory_order_release) {
+    notified_.store(false, order);
+    drain();
+  }
+
+ private:
+  void drain() {
+    std::uint64_t buf;
+    while (retry_eintr([&] { return ::read(rfd_, &buf, sizeof(buf)); }) > 0) {
+    }
+  }
+
+#ifndef __linux__
+  static void set_nonblocking(int fd) {
+    const int flags = check_sys("fcntl", [&] { return ::fcntl(fd, F_GETFL); });
+    check_sys("fcntl",
+              [&] { return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK); });
+  }
+#endif
+
+  int rfd_ = -1;  // polled side (eventfd, or pipe read end)
+  int wfd_ = -1;  // written side (== rfd_ for eventfd)
+  std::atomic<bool> notified_{false};
+};
+
+}  // namespace mp::arch

@@ -17,6 +17,7 @@
 
 #include "arch/panic.h"
 #include "arch/sysio.h"
+#include "arch/wakeport.h"
 #include "metrics/metrics.h"
 
 namespace mp::io {
@@ -58,59 +59,14 @@ unsigned from_poll_events(short ev) {
   return mask;
 }
 
-[[maybe_unused]] void set_nonblocking(int fd) {  // pipe-port (non-Linux) path
-  const int flags = arch::check_sys("fcntl", [&] { return ::fcntl(fd, F_GETFL); });
-  arch::check_sys("fcntl", [&] { return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK); });
-}
-
 }  // namespace
-
-// ----- WakePort -----
-
-void Reactor::WakePort::open() {
-#ifdef __linux__
-  rfd = arch::check_sys("eventfd", [] {
-    return ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  });
-  wfd = rfd;
-#else
-  int p[2];
-  arch::check_sys("pipe", [&] { return ::pipe(p); });
-  rfd = p[0];
-  wfd = p[1];
-  set_nonblocking(rfd);
-  set_nonblocking(wfd);
-#endif
-}
-
-void Reactor::WakePort::signal() {
-  // Async-thread-safe: one atomic exchange plus (first kick only) one
-  // write.  The flag collapses bursts so the port never fills.
-  if (notified.exchange(true, std::memory_order_acq_rel)) return;
-  const std::uint64_t one = 1;
-  ssize_t rc;
-  do {
-    rc = ::write(wfd, &one, wfd == rfd ? sizeof(one) : 1);
-  } while (rc < 0 && errno == EINTR);
-}
-
-void Reactor::WakePort::drain() {
-  std::uint64_t buf;
-  while (arch::retry_eintr([&] { return ::read(rfd, &buf, sizeof(buf)); }) > 0) {
-  }
-}
-
-Reactor::WakePort::~WakePort() {
-  if (rfd >= 0) ::close(rfd);
-  if (wfd >= 0 && wfd != rfd) ::close(wfd);
-}
 
 // ----- construction / teardown -----
 
 Reactor::Reactor(threads::Scheduler& sched, ReactorConfig cfg)
     : sched_(sched), plat_(sched.platform()), cfg_(cfg) {
   lock_ = plat_.mutex_lock();
-  wake_ = std::make_shared<WakePort>();
+  wake_ = std::make_shared<arch::WakePort>();
   wake_->open();
 #ifdef __linux__
   if (!cfg_.force_poll) {
@@ -118,9 +74,9 @@ Reactor::Reactor(threads::Scheduler& sched, ReactorConfig cfg)
                             [] { return ::epoll_create1(EPOLL_CLOEXEC); });
     epoll_event ev{};
     ev.events = EPOLLIN;
-    ev.data.fd = wake_->rfd;
+    ev.data.fd = wake_->rfd();
     arch::check_sys("epoll_ctl", [&] {
-      return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_->rfd, &ev);
+      return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_->rfd(), &ev);
     });
     use_epoll_ = true;
   }
@@ -261,9 +217,8 @@ int Reactor::collect_epoll(double timeout_us, std::vector<Ready>& out) {
     arch::raise_errno("epoll_wait", errno);
   }
   for (int i = 0; i < n; i++) {
-    if (evs[i].data.fd == wake_->rfd) {
-      wake_->notified.store(false, std::memory_order_release);
-      wake_->drain();
+    if (evs[i].data.fd == wake_->rfd()) {
+      wake_->acknowledge();
       continue;
     }
     unsigned mask = 0;
@@ -282,7 +237,7 @@ int Reactor::collect_epoll(double timeout_us, std::vector<Ready>& out) {
 
 int Reactor::collect_poll(double timeout_us, std::vector<Ready>& out) {
   std::vector<pollfd> pfds;
-  pfds.push_back(pollfd{wake_->rfd, POLLIN, 0});
+  pfds.push_back(pollfd{wake_->rfd(), POLLIN, 0});
   plat_.lock(lock_);
   for (const auto& [fd, e] : fds_) {
     if (e.armed != 0) pfds.push_back(pollfd{fd, to_poll_events(e.armed), 0});
@@ -296,9 +251,8 @@ int Reactor::collect_poll(double timeout_us, std::vector<Ready>& out) {
   }
   for (const pollfd& p : pfds) {
     if (p.revents == 0) continue;
-    if (p.fd == wake_->rfd) {
-      wake_->notified.store(false, std::memory_order_release);
-      wake_->drain();
+    if (p.fd == wake_->rfd()) {
+      wake_->acknowledge();
       continue;
     }
     out.push_back(Ready{p.fd, from_poll_events(p.revents)});
@@ -365,13 +319,15 @@ int Reactor::poll() {
 
 int Reactor::wait(double max_us) {
   plat_.safe_point();
-  if (wake_->notified.exchange(false, std::memory_order_acq_rel)) {
-    wake_->drain();
+  if (wake_->consume()) {
     return 0;  // consumed an external kick; caller re-checks its queues
   }
   bool expected = false;
   if (!polling_.compare_exchange_strong(expected, true,
                                         std::memory_order_acq_rel)) {
+    // Fallback only: the scheduler's reactor election admits one proc at a
+    // time, so this race is confined to direct callers outside the
+    // election (tests, the destructor's quiesce kicks).
     plat_.idle_wait(std::min(max_us, kLoserNapUs));
     return 0;
   }

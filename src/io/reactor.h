@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "arch/wakeport.h"
 #include "threads/scheduler.h"
 
 // The event-driven I/O reactor: the bridge between file-descriptor
@@ -91,18 +92,6 @@ class Reactor final : public threads::IdleWaiter {
     int fd;
     unsigned mask;
   };
-  // The cross-thread wakeup port lives apart from the Reactor so the
-  // platform wake hook (which may run from a ticker thread at any time)
-  // can hold it by shared_ptr and never race the Reactor's destruction.
-  struct WakePort {
-    int rfd = -1;  // polled side (eventfd, or pipe read end)
-    int wfd = -1;  // written side (== rfd for eventfd)
-    std::atomic<bool> notified{false};
-    void open();
-    void signal();  // async-thread-safe
-    void drain();
-    ~WakePort();
-  };
 
   // Re-register `fd`'s kernel interest after its waiter list changed;
   // called with lock_ held.
@@ -120,7 +109,12 @@ class Reactor final : public threads::IdleWaiter {
   ReactorConfig cfg_;
   bool use_epoll_ = false;
   int epfd_ = -1;
-  std::shared_ptr<WakePort> wake_;
+  // The cross-thread wakeup port (arch/wakeport.h — the same primitive the
+  // native platform uses for per-proc parking) lives apart from the Reactor
+  // so the platform wake hook (which may run from a ticker thread at any
+  // time) can hold it by shared_ptr and never race the Reactor's
+  // destruction.
+  std::shared_ptr<arch::WakePort> wake_;
 
   MutexLock lock_;
   std::unordered_map<int, FdEntry> fds_;

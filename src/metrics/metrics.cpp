@@ -17,8 +17,10 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "gc_par_steals",         "gc_par_overflow_pushes", "gc_par_pad_words",
     "gc_par_term_rounds",    "sched_dispatches",      "sched_preempts",
     "sched_forks",           "sched_yields",          "sched_idle_polls",
-    "sched_timer_fires",     "sched_idle_backoff",    "cml_sends",
-    "cml_recvs",             "cml_select_retries",    "cml_offers_parked",
+    "sched_timer_fires",     "sched_idle_backoff",    "sched_steal_attempts",
+    "sched_steal_commits",   "sched_park_waits",      "sched_park_wakeups",
+    "cml_sends",             "cml_recvs",             "cml_select_retries",
+    "cml_offers_parked",
     "io_wakeups",            "io_dispatch_batches",   "io_parked",
     "io_notifies",           "io_eintr_retries",      "io_bytes_read",
     "io_bytes_written",      "trace_dropped",
@@ -31,6 +33,8 @@ constexpr const char* kHistoNames[kNumHistos] = {
     "gc_par_term_rounds_per_gc",
     "lock_spin_iters",
     "run_queue_depth",
+    "sched_park_us",
+    "sched_wake_to_dispatch_us",
     "io_wait_us",
     "io_batch_wakeups",
 };

@@ -67,6 +67,10 @@ enum class Counter : std::uint32_t {
   kSchedIdlePolls,   // empty-queue polling iterations of held procs
   kSchedTimerFires,  // timer callbacks run
   kSchedIdleBackoff,  // bounded-backoff waits taken by idle dispatch loops
+  kSchedStealAttempts,  // work-stealing CASes tried against non-empty victims
+  kSchedStealCommits,   // steals whose CAS won (threads migrated between procs)
+  kSchedParkWaits,      // bounded parks taken by idle procs (port or reactor)
+  kSchedParkWakeups,    // parks ended by a targeted wake_one claim
   // CML channels (cml/cml.h).
   kCmlSends,          // send offers committed
   kCmlRecvs,          // receive offers committed
@@ -98,6 +102,8 @@ enum class Histo : std::uint32_t {
   kGcParTermRounds,   // termination-detector rounds per parallel collection
   kLockSpinIters,  // spin iterations per contended acquisition
   kRunQueueDepth,  // ready-queue length observed at each dispatch
+  kSchedParkUs,    // time spent per bounded park (microseconds)
+  kSchedWakeToDispatchUs,  // wake_one claim to next dispatch on the woken proc
   kIoWaitUs,       // parked time per woken I/O waiter (microseconds)
   kIoBatchWakeups,  // waiters woken per non-empty reactor dispatch pass
   kNumHistos,

@@ -1,5 +1,7 @@
 #include "mp/native_platform.h"
 
+#include <poll.h>
+
 #include <ctime>
 
 #include <algorithm>
@@ -35,6 +37,7 @@ NativePlatform::NativePlatform(NativePlatformConfig config)
     auto p = std::make_unique<NProc>();
     p->id = i;
     p->prng.reseed(cfg_.seed ^ (0x9e3779b97f4a7c15ull * (std::uint64_t)(i + 1)));
+    p->port.open();
     procs_.push_back(std::move(p));
   }
   epoch_ = std::chrono::steady_clock::now();
@@ -256,6 +259,32 @@ void NativePlatform::idle_wait(double max_us) {
   safe_point();
 }
 
+void NativePlatform::park_proc(double max_us) {
+  NProc& p = static_cast<NProc&>(self());
+  safe_point();
+  if (max_us <= 0) return;
+  // A kick posted while we were running (or by a previous spurious signal)
+  // ends the park before it starts.
+  if (p.port.consume()) {
+    safe_point();
+    return;
+  }
+  pollfd pfd{p.port.rfd(), POLLIN, 0};
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(max_us / 1e6);
+  ts.tv_nsec =
+      static_cast<long>((max_us - static_cast<double>(ts.tv_sec) * 1e6) * 1e3);
+  // EINTR counts as a wakeup: the park is bounded either way and the caller
+  // re-checks its queues.
+  ::ppoll(&pfd, 1, &ts, nullptr);
+  p.port.consume();
+  safe_point();
+}
+
+void NativePlatform::unpark_proc(int proc_id) {
+  procs_[static_cast<std::size_t>(proc_id)]->port.signal();
+}
+
 arch::Rng& NativePlatform::rng() {
   return static_cast<NProc&>(self()).prng;
 }
@@ -315,8 +344,12 @@ void NativePlatform::stop_world(gc::WorkerFn work) {
     collector_.store(me.id, std::memory_order_release);
     world_stop_.store(true, std::memory_order_release);
   }
-  // Interrupt any proc blocked in the I/O reactor so it parks promptly.
+  // Interrupt any proc blocked in the I/O reactor so it parks promptly, and
+  // kick every per-proc park port: a port-parked proc has no safe points
+  // until it wakes, so without the kick each one would add up to its park
+  // bound to this stop-the-world.
   run_wake_hook();
+  for (auto& p : procs_) p->port.signal();
   std::unique_lock<std::mutex> lk(gc_mutex_);
   gc_cv_.notify_all();  // parked procs re-check for the new epoch's fn
   gc_cv_.wait(lk, [&] {

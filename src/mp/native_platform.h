@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "arch/wakeport.h"
 #include "mp/platform.h"
 
 namespace mp {
@@ -42,6 +43,8 @@ class NativePlatform final : public Platform {
   double now_us() override;
   void safe_point() override;
   void idle_wait(double max_us) override;
+  void park_proc(double max_us) override;
+  void unpark_proc(int proc_id) override;
   arch::Rng& rng() override;
   void set_preempt_interval(double us) override;
 
@@ -74,6 +77,10 @@ class NativePlatform final : public Platform {
     bool has_work = false;
     std::atomic<RunState> rstate{RunState::kIdle};
     arch::Rng prng;
+    // Targeted-wakeup port: park_proc waits on it, unpark_proc (any
+    // thread) signals it.  stop_world signals every port so parked procs
+    // reach their GC safe point at interrupt speed, not timeout speed.
+    arch::WakePort port;
     // Last collection epoch whose worker fn this proc ran (under gc_mutex_);
     // ensures one worker entry per proc per stop-the-world.
     std::uint64_t gc_epoch_seen = 0;

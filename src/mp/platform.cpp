@@ -66,13 +66,14 @@ void Platform::run_wake_hook() {
   if (auto hook = wake_hook_.load(std::memory_order_acquire)) (*hook)();
 }
 
-void Platform::deliver_pending_signals(ProcRec& p) {
+void Platform::deliver_pending_signals(ProcRec& first) {
+  ProcRec* p = &first;
   for (;;) {
     const std::uint32_t deliverable =
-        p.sig_pending.load(std::memory_order_acquire) & ~p.sig_mask;
+        p->sig_pending.load(std::memory_order_acquire) & ~p->sig_mask;
     if (deliverable == 0) return;
     const int s = __builtin_ctz(deliverable);
-    p.sig_pending.fetch_and(~(1u << s), std::memory_order_acq_rel);
+    p->sig_pending.fetch_and(~(1u << s), std::memory_order_acq_rel);
     std::function<void()> handler;
     {
       arch::TasGuard guard(handler_lock_);
@@ -81,8 +82,13 @@ void Platform::deliver_pending_signals(ProcRec& p) {
     // The handler runs on the interrupted thread's stack, exactly like a
     // Unix signal delivered at a clean point; it may suspend the thread
     // (e.g. a preemption handler calling yield), in which case delivery of
-    // further pending signals resumes with the thread.
-    if (handler) handler();
+    // further pending signals resumes with the thread — possibly on a
+    // *different* proc, so re-bind to the current proc's record rather
+    // than keep touching the one the thread was interrupted on.
+    if (handler) {
+      handler();
+      p = &self();
+    }
   }
 }
 

@@ -153,6 +153,21 @@ class Platform : public gc::Rendezvous, public gc::Accounting {
     (void)max_us;
     safe_point();
   }
+  // Targeted park/unpark (the scheduler's per-proc wakeup protocol).  A
+  // proc with nothing to run parks itself for at most `max_us`; any proc —
+  // or non-proc thread — can unpark a specific proc by id with one cheap,
+  // async-thread-safe kick (an eventfd write on the native backend; a
+  // deterministic pending flag on the simulator).  An unpark posted while
+  // the target is not parked persists and makes its next park return
+  // immediately, so the enqueue-then-unpark order never loses a wakeup.
+  // Like idle_wait, both ends are safe points and callers must keep
+  // `max_us` bounded; the default degrades to a plain bounded idle wait.
+  virtual void park_proc(double max_us) { idle_wait(max_us); }
+  virtual void unpark_proc(int proc_id) { (void)proc_id; }
+  // Account one hardware compare-and-swap (work-stealing takes, park-state
+  // claims).  Free on real hardware; the simulator charges the machine
+  // model's CAS cost and a bus transaction.
+  virtual void charge_cas() {}
   // Deterministic per-proc random stream (scheduling decisions, workloads).
   virtual arch::Rng& rng() = 0;
 

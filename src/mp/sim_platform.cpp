@@ -216,6 +216,48 @@ void SimPlatform::idle_wait(double max_us) {
   deliver_pending_signals(self());
 }
 
+void SimPlatform::park_proc(double max_us) {
+  SimProc& p = static_cast<SimProc&>(self());
+  const auto& m = cfg_.machine;
+  if (p.unpark_pending) {
+    // A kick posted while we were running ends the park before it starts.
+    p.unpark_pending = false;
+    deliver_pending_signals(self());
+    return;
+  }
+  engine_->charge_us(m.park_us);
+  // Advance virtual time in slices, noticing a posted unpark at slice
+  // granularity.  Each charge is an engine scheduling point, so a parked
+  // proc still yields to lagging procs, parks for stop-the-worlds, and
+  // receives timer hooks — and the run stays deterministic.
+  double remaining = max_us;
+  const double slice = m.park_slice_us > 0 ? m.park_slice_us : max_us;
+  while (remaining > 0) {
+    SimProc& cur = static_cast<SimProc&>(self());
+    if (cur.unpark_pending) break;
+    const double step = remaining < slice ? remaining : slice;
+    engine_->charge_us(step);
+    remaining -= step;
+  }
+  static_cast<SimProc&>(self()).unpark_pending = false;
+  deliver_pending_signals(self());
+}
+
+void SimPlatform::unpark_proc(int proc_id) {
+  procs_[static_cast<std::size_t>(proc_id)]->unpark_pending = true;
+  // The kick itself costs the waker an eventfd-write analogue.
+  if (engine_->current() >= 0) {
+    engine_->charge_instr(cfg_.machine.unpark_instr);
+  }
+}
+
+void SimPlatform::charge_cas() {
+  engine_->charge_instr(cfg_.machine.cas_instr);
+  if (!cfg_.machine.hardware_lock_bus) {
+    engine_->bus_transfer(cfg_.machine.tas_bus_bytes);
+  }
+}
+
 void SimPlatform::end_idle_poll() {
   SimProc& p = static_cast<SimProc&>(self());
   if (p.idle_polling) {

@@ -67,6 +67,9 @@ class SimPlatform final : public Platform {
   void begin_idle_poll() override;
   void end_idle_poll() override;
   void idle_wait(double max_us) override;
+  void park_proc(double max_us) override;
+  void unpark_proc(int proc_id) override;
+  void charge_cas() override;
   arch::Rng& rng() override;
   void set_preempt_interval(double us) override;
 
@@ -104,6 +107,9 @@ class SimPlatform final : public Platform {
     bool idle_polling = false;
     double idle_poll_start = 0;
     double idle_poll_us = 0;  // accounted separately in the report
+    // Posted unpark not yet consumed by a park (all sim procs share one
+    // OS thread, so a plain bool is race-free and deterministic).
+    bool unpark_pending = false;
   };
 
   void proc_main(int id);

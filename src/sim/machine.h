@@ -32,6 +32,15 @@ struct MachineModel {
   bool hardware_lock_bus = false;  // SGI: lock traffic bypasses main bus
   double spin_retry_instr = 12.0;  // cost of one failed spin iteration
 
+  // --- per-proc scheduling core (work stealing + targeted wakeups) ---
+  double cas_instr = 30.0;       // one compare-and-swap (steal, park claim)
+  double park_us = 8.0;          // entering the kernel park (port wait setup)
+  double unpark_instr = 150.0;   // targeted wakeup delivery (eventfd write)
+  // Granularity at which a parked proc notices a posted unpark; also the
+  // wakeup latency the model charges (a real port wakes at interrupt
+  // speed; the slice keeps the simulation deterministic and cheap).
+  double park_slice_us = 20.0;
+
   // --- continuations / scheduling ---
   double callcc_instr = 40.0;      // capture cost (closure allocation)
   double throw_instr = 30.0;       // resume cost

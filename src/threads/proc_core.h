@@ -1,0 +1,86 @@
+#pragma once
+
+#include <atomic>
+#include <limits>
+
+#include "arch/cacheline.h"
+#include "threads/wsdeque.h"
+
+// The per-proc scheduling core.  Everything one dispatch loop touches on
+// its idle path lives here, on its own cache line: the proc's work-stealing
+// run deque (used when the WorkStealingQueue discipline is selected), the
+// park/unpark handshake state, the idle-backoff round, and the per-proc
+// timer cursor that keeps busy dispatch loops off the shared
+// next-deadline atomic.
+//
+// Park/unpark protocol (an eventcount, one per proc).  A proc with nothing
+// to run publishes kParkedPort (or kParkedReactor when it is the elected
+// reactor poller) with a seq_cst store, re-checks the ready queue, and only
+// then blocks — bounded — in Platform::park_proc (or the reactor's wait).
+// A waker enqueues first, then scans the cores and claims exactly one
+// parked proc by CASing its state to kWakePending before kicking that
+// proc's port (or the reactor).  The claim CAS is what makes wakeups
+// targeted: N wakers claim at most N distinct sleepers, and nobody
+// broadcasts.  Because the seq_cst publish/scan pair means either the
+// parker's re-check sees the new work or the waker's scan sees the parked
+// state, a wakeup can never be lost; bounded parks make even a reasoning
+// error here a latency bug, not a hang.
+
+namespace mp::threads {
+
+enum class ParkState : int {
+  kRunning = 0,        // dispatching or running a thread
+  kParkedPort,         // blocked (bounded) in Platform::park_proc
+  kParkedReactor,      // blocked (bounded) in the io reactor's kernel wait
+  kWakePending,        // claimed by a waker; unpark in flight
+};
+
+struct alignas(arch::kCacheLine) ProcCore {
+  explicit ProcCore(int proc_id) : id(proc_id) {}
+  ~ProcCore() {
+    while (free_cells != nullptr) {
+      ThreadState* next = free_cells->next_free;
+      delete free_cells;
+      free_cells = next;
+    }
+  }
+  ProcCore(const ProcCore&) = delete;
+  ProcCore& operator=(const ProcCore&) = delete;
+
+  const int id;
+
+  // This proc's run deque (WorkStealingQueue discipline): the owner pushes
+  // and pops here, other procs steal from the top.
+  WsDeque deque;
+
+  // Park/unpark handshake (see the protocol note above).
+  std::atomic<ParkState> park_state{ParkState::kRunning};
+  // Platform time at which a waker claimed this proc; consumed by the
+  // sleeper to feed the wake-to-dispatch latency histogram.
+  std::atomic<double> wake_posted_us{-1.0};
+
+  // ---- owner-only fields (only the proc's own dispatch loop) ----
+
+  // Cache of recycled deque cells, chained through ThreadState::next_free.
+  // enq allocates from the *enqueuing* proc's cache and a successful deq
+  // returns the cell to the *dequeuing* proc's cache, so each list is
+  // touched by exactly one OS thread and needs no synchronization; cells
+  // simply migrate between cores as threads do.
+  ThreadState* free_cells = nullptr;
+  int free_cell_count = 0;
+
+  // Consecutive empty dispatch attempts; drives the bounded exponential
+  // idle backoff and resets on any dequeue or targeted wake.
+  int backoff_round = 0;
+  // Wake stamp carried from the park exit to the next dispatch.
+  double pending_wake_us = -1.0;
+  // Timer cursor: a cached copy of the scheduler's earliest deadline plus
+  // the time at which to refresh it, so a busy dispatch loop reads the
+  // shared next-deadline atomic on a bounded cadence instead of every
+  // iteration.  Staleness is bounded by the refresh interval; parks always
+  // re-read the shared value.
+  double cached_deadline_us = std::numeric_limits<double>::infinity();
+  double timer_refresh_us = 0;
+};
+
+}  // namespace mp::threads

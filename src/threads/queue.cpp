@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "metrics/metrics.h"
 #include "threads/queue.h"
 
 namespace mp::threads {
@@ -73,25 +74,15 @@ bool entry_less(const int pa, const std::uint64_t sa, const int pb,
 
 void PriorityQueue::set_priority(Platform& p, int thread_id, int priority) {
   p.lock(lock_);
-  for (auto& [tid, prio] : priorities_) {
-    if (tid == thread_id) {
-      prio = priority;
-      p.unlock(lock_);
-      return;
-    }
-  }
-  priorities_.emplace_back(thread_id, priority);
+  priorities_[thread_id] = priority;
   p.unlock(lock_);
 }
 
 void PriorityQueue::enq(Platform& p, ThreadState t) {
   p.lock(lock_);
   int prio = 0;
-  for (const auto& [tid, pr] : priorities_) {
-    if (tid == t.id) {
-      prio = pr;
-      break;
-    }
+  if (auto it = priorities_.find(t.id); it != priorities_.end()) {
+    prio = it->second;
   }
   heap_.push_back(Entry{prio, next_seq_++, std::move(t)});
   std::push_heap(heap_.begin(), heap_.end(), [](const Entry& a, const Entry& b) {
@@ -171,6 +162,109 @@ std::optional<ThreadState> DistributedQueue::deq(Platform& p) {
       return t;
     }
     p.unlock(victim.lock);
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Bound on each core's recycled-cell cache; overflow falls back to delete.
+constexpr int kMaxFreeCells = 256;
+
+// Heap a ThreadState into a deque cell, reusing the proc's cell cache when
+// it has one (the cache is owner-only — see ProcCore::free_cells).
+ThreadState* make_cell(ProcCore& mine, ThreadState&& t) {
+  ThreadState* cell = mine.free_cells;
+  if (cell == nullptr) return new ThreadState(std::move(t));
+  mine.free_cells = cell->next_free;
+  mine.free_cell_count--;
+  cell->k = std::move(t.k);
+  cell->id = t.id;
+  cell->next_free = nullptr;
+  return cell;
+}
+
+// Move the state out of a deque cell and recycle the cell into the
+// dequeuing proc's cache.
+std::optional<ThreadState> take_cell(ProcCore& mine, ThreadState* cell) {
+  std::optional<ThreadState> t{std::move(*cell)};
+  t->next_free = nullptr;
+  if (mine.free_cell_count < kMaxFreeCells) {
+    cell->next_free = mine.free_cells;
+    mine.free_cells = cell;
+    mine.free_cell_count++;
+  } else {
+    delete cell;
+  }
+  return t;
+}
+
+}  // namespace
+
+void WorkStealingQueue::init(Platform& p) {
+  if (!cores_.empty()) return;
+  // No scheduler bound its cores: make our own (queue-only tests and
+  // harnesses drive the discipline without a Scheduler).
+  owned_.clear();
+  for (int i = 0; i < p.max_procs(); i++) {
+    owned_.push_back(std::make_unique<ProcCore>(i));
+  }
+  cores_.reserve(owned_.size());
+  for (auto& c : owned_) cores_.push_back(c.get());
+}
+
+void WorkStealingQueue::enq(Platform& p, ThreadState t) {
+  ProcCore& mine = *cores_[static_cast<std::size_t>(p.proc_id())];
+  // Owner-side push: a slot store plus the release publish of bottom — no
+  // lock pair, no read-modify-write.
+  p.work(4);
+  mine.deque.push(make_cell(mine, std::move(t)));
+}
+
+std::optional<ThreadState> WorkStealingQueue::deq(Platform& p) {
+  const auto n = cores_.size();
+  const auto me = static_cast<std::size_t>(p.proc_id());
+  ProcCore& mine = *cores_[me];
+  // Own deque first.
+  if (order_ == OwnerOrder::kLifo) {
+    if (!mine.deque.empty()) {
+      p.charge_cas();  // pop's store-load barrier / last-entry CAS
+      if (ThreadState* cell = mine.deque.pop()) return take_cell(mine, cell);
+    }
+  } else {
+    // FIFO owner order: the owner takes its own oldest entry with the same
+    // top CAS the thieves use.  kLost means a thief took that entry — the
+    // next-oldest is still ours to try.
+    while (!mine.deque.empty()) {
+      ThreadState* cell = nullptr;
+      p.charge_cas();
+      const auto r = mine.deque.steal(&cell);
+      if (r == WsDeque::Steal::kGot) return take_cell(mine, cell);
+      if (r == WsDeque::Steal::kEmpty) break;
+    }
+  }
+  // Steal from a victim, starting at a random proc.  The unsynchronized
+  // size peek costs one shared-memory read; the take itself is one CAS.
+  const std::size_t start = p.rng().below(n);
+  for (std::size_t step = 0; step < n; step++) {
+    const std::size_t v = (start + step) % n;
+    if (v == me) continue;
+    ProcCore& victim = *cores_[v];
+    p.work(2);
+    if (victim.deque.empty()) continue;
+    ThreadState* cell = nullptr;
+    MPNJ_METRIC_COUNT(kSchedStealAttempts, 1);
+    p.charge_cas();
+    const auto r = victim.deque.steal(&cell);
+    if (r == WsDeque::Steal::kGot) {
+      MPNJ_METRIC_COUNT(kSchedStealCommits, 1);
+      if (steal_rec_) {
+        steal_rec_->emplace_back(static_cast<int>(me), static_cast<int>(v));
+      }
+      return take_cell(mine, cell);
+    }
+    // kLost: someone else took the entry — global progress was made; move
+    // on to the next victim rather than hammering this one's top.
   }
   return std::nullopt;
 }

@@ -1,31 +1,32 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "cont/cont.h"
 #include "mp/platform.h"
+#include "threads/proc_core.h"
+#include "threads/queue_types.h"
 
 namespace mp::threads {
 
-// A suspended thread on a ready queue: a continuation that already carries
-// its resume value, plus the thread's integer id (restored into the proc
-// datum by dispatch, as in the paper's Figure 3).
-struct ThreadState {
-  cont::ContRef k;
-  int id = 0;
-};
-
 // The QUEUE signature (paper Figure 1): the thread module is parameterized
 // by the queuing discipline, so scheduling policy is changed "simply by
-// varying the functor's argument".  Implementations do their own locking
-// through the platform's mutex locks — which is also what makes run-queue
-// lock contention measurable in the simulator.
+// varying the functor's argument".  The lock-based implementations do their
+// own locking through the platform's mutex locks — which is also what makes
+// run-queue lock contention measurable in the simulator; the work-stealing
+// discipline keeps the ready path off mutual exclusion entirely.
 class ReadyQueue {
  public:
   virtual ~ReadyQueue() = default;
+  // The scheduler offers its per-proc cores (proc_core.h) before init; the
+  // work-stealing discipline anchors its deques there, the lock-based
+  // disciplines ignore the offer.
+  virtual void bind_cores(std::vector<ProcCore*> cores) { (void)cores; }
   // Called once, on the root proc, before any enq/deq.
   virtual void init(Platform& p) = 0;
   virtual void enq(Platform& p, ThreadState t) = 0;
@@ -98,7 +99,9 @@ class PriorityQueue final : public ReadyQueue {
   MutexLock lock_;
   std::vector<Entry> heap_;  // max-heap by (priority, -seq)
   std::uint64_t next_seq_ = 0;
-  std::vector<std::pair<int, int>> priorities_;  // (thread id, priority)
+  // Registered priorities keyed by thread id: O(log n) lookup per enqueue
+  // and per set_priority (the pair-vector this replaces made both O(n)).
+  std::map<int, int> priorities_;
 };
 
 // Distributed run queue: one deque + lock per proc; enqueue goes to the
@@ -122,6 +125,50 @@ class DistributedQueue final : public ReadyQueue {
     std::atomic<int> approx_size{0};
   };
   std::vector<std::unique_ptr<PerProc>> per_proc_;
+};
+
+// Lock-free work-stealing discipline (the default): one Chase–Lev deque
+// per proc, anchored in the scheduler's ProcCores.  Enqueue is a plain
+// store + release on the enqueuing proc's own deque; dequeue takes from
+// the own deque first and then steals from victims in seeded random order,
+// one CAS per take.  Owner order is FIFO by default — the owner takes from
+// its own deque's top with the same CAS the thieves use, preserving the
+// distributed discipline's per-proc FIFO fairness (a yielding thread goes
+// behind its proc's other work; with LIFO it would re-dispatch itself and
+// starve them).  kLifo keeps the textbook Chase–Lev owner pop at the
+// bottom for depth-first fork/join ablation, with the same starvation
+// caveat as CentralLifoQueue.
+class WorkStealingQueue final : public ReadyQueue {
+ public:
+  enum class OwnerOrder { kFifo, kLifo };
+
+  explicit WorkStealingQueue(OwnerOrder order = OwnerOrder::kFifo)
+      : order_(order) {}
+
+  void bind_cores(std::vector<ProcCore*> cores) override {
+    cores_ = std::move(cores);
+  }
+  void init(Platform& p) override;
+  void enq(Platform& p, ThreadState t) override;
+  std::optional<ThreadState> deq(Platform& p) override;
+  const char* name() const override {
+    return order_ == OwnerOrder::kFifo ? "ws" : "ws-lifo";
+  }
+
+  // Test hook: record (thief, victim) for every committed steal.  The
+  // recorder is written without synchronization — use it only where all
+  // procs share one OS thread (the simulator backend).
+  void set_steal_recorder(std::vector<std::pair<int, int>>* rec) {
+    steal_rec_ = rec;
+  }
+
+ private:
+  OwnerOrder order_;
+  std::vector<ProcCore*> cores_;
+  // Standalone use (tests, queue-only harnesses): cores created by init
+  // when the scheduler did not bind its own.
+  std::vector<std::unique_ptr<ProcCore>> owned_;
+  std::vector<std::pair<int, int>>* steal_rec_ = nullptr;
 };
 
 }  // namespace mp::threads

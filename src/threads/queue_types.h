@@ -1,0 +1,18 @@
+#pragma once
+
+#include "cont/cont.h"
+
+namespace mp::threads {
+
+// A suspended thread on a ready queue: a continuation that already carries
+// its resume value, plus the thread's integer id (restored into the proc
+// datum by dispatch, as in the paper's Figure 3).
+struct ThreadState {
+  cont::ContRef k;
+  int id = 0;
+  // Intrusive link for the per-proc cell caches (proc_core.h): live cells on
+  // a work-stealing deque never use it; a recycled cell chains through it.
+  ThreadState* next_free = nullptr;
+};
+
+}  // namespace mp::threads

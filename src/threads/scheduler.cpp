@@ -13,8 +13,15 @@ using cont::Unit;
 
 Scheduler::Scheduler(Platform& platform, SchedulerConfig config)
     : plat_(platform), cfg_(std::move(config)) {
+  for (int i = 0; i < plat_.max_procs(); i++) {
+    cores_.push_back(std::make_unique<ProcCore>(i));
+  }
   queue_ = cfg_.queue ? std::move(cfg_.queue)
-                      : std::make_unique<DistributedQueue>();
+                      : std::make_unique<WorkStealingQueue>();
+  std::vector<ProcCore*> core_ptrs;
+  core_ptrs.reserve(cores_.size());
+  for (auto& c : cores_) core_ptrs.push_back(c.get());
+  queue_->bind_cores(std::move(core_ptrs));
   queue_->init(plat_);
   next_id_lock_ = plat_.mutex_lock();
   timer_lock_ = plat_.mutex_lock();
@@ -41,74 +48,101 @@ void Scheduler::worker_loop() {
 }
 
 void Scheduler::dispatch() {
-  int idle_rounds = 0;
+  ProcCore& core = *cores_[static_cast<std::size_t>(plat_.proc_id())];
   for (;;) {
     plat_.work(cfg_.costs.dispatch_instr);
-    if (plat_.now_us() >= next_deadline_.load(std::memory_order_acquire)) {
-      run_expired_timers();
-    }
+    poll_timers(core);
     maybe_poll_io();
-    if (auto t = queue_->deq(plat_)) {
+    std::optional<ThreadState> t = queue_->deq(plat_);
+    if (!t) {
+      if (shutdown_.load(std::memory_order_acquire) || !cfg_.hold_procs) {
+        // Figure 3 releases the proc whenever the queue is empty; the
+        // held-procs configuration only releases at shutdown.
+        plat_.end_idle_poll();
+        plat_.unmask_signal(Sig::kPreempt);
+        plat_.release_proc();
+      }
+      MPNJ_METRIC_COUNT(kSchedIdlePolls, 1);
+      plat_.begin_idle_poll();
+      t = idle_step(core);
+      if (!t) continue;
+    }
+    core.backoff_round = 0;
 #if MPNJ_METRICS
+    if (metrics::registry().enabled()) {
       const long depth = ready_count_.fetch_sub(1, std::memory_order_relaxed);
       MPNJ_METRIC_COUNT(kSchedDispatches, 1);
       // Depth as observed before this dequeue (clamped: enq/deq races can
       // transiently drive the mirror below the true size).
       MPNJ_METRIC_RECORD(kRunQueueDepth,
                          depth > 0 ? static_cast<std::uint64_t>(depth) : 0);
-#endif
-      plat_.end_idle_poll();
-      plat_.set_datum(static_cast<Datum>(t->id));
-      if (cfg_.tracer) {
-        cfg_.tracer->record(plat_, TraceKind::kDispatch, t->id);
+      if (core.pending_wake_us >= 0) {
+        const double lat = plat_.now_us() - core.pending_wake_us;
+        MPNJ_METRIC_RECORD(kSchedWakeToDispatchUs,
+                           lat > 0 ? static_cast<std::uint64_t>(lat) : 0);
       }
-      plat_.unmask_signal(Sig::kPreempt);
-      cont::fire_preloaded(std::move(t->k));
     }
-    if (shutdown_.load(std::memory_order_acquire) || !cfg_.hold_procs) {
-      // Figure 3 releases the proc whenever the queue is empty; the
-      // held-procs configuration only releases at shutdown.
-      plat_.end_idle_poll();
-      plat_.unmask_signal(Sig::kPreempt);
-      plat_.release_proc();
+    core.pending_wake_us = -1.0;
+#endif
+    plat_.end_idle_poll();
+    plat_.set_datum(static_cast<Datum>(t->id));
+    if (cfg_.tracer) {
+      cfg_.tracer->record(plat_, TraceKind::kDispatch, t->id);
     }
-    MPNJ_METRIC_COUNT(kSchedIdlePolls, 1);
-    plat_.begin_idle_poll();
-    if (idle_step(++idle_rounds)) idle_rounds = 0;
+    plat_.unmask_signal(Sig::kPreempt);
+    cont::fire_preloaded(std::move(t->k));
   }
 }
 
 namespace {
 // Bounded exponential idle backoff: the first rounds keep the seed's cheap
-// busy poll (lowest wakeup latency while work is imminent), then the wait
-// doubles from kIdleWaitBaseUs up to kIdleWaitMaxUs.  The cap is what
-// bounds the latency a sleeping proc adds to a stop-the-world or a posted
-// signal when no reactor (with its wake hook) is installed.
+// busy poll (lowest wakeup latency while work is imminent), then the park
+// bound doubles from kIdleWaitBaseUs up to kIdleWaitMaxUs.  Parks are woken
+// early by wake_one; the cap is a liveness backstop, bounding the cost of
+// any wakeup the protocol could ever fail to deliver and the latency a
+// sleeping proc adds to a stop-the-world on platforms without ports.
 constexpr int kIdleSpinRounds = 8;
 constexpr double kIdleWaitBaseUs = 4;
 constexpr double kIdleWaitMaxUs = 2000;
 // Busy procs drain reactor-ready fds at least this often, so I/O waiters
 // wake even when no proc ever goes idle.
 constexpr double kIoPollIntervalUs = 200;
+// How long a busy dispatch loop may trust its cached copy of the shared
+// next-timer deadline before re-reading it (parks always re-read).
+constexpr double kTimerRefreshUs = 25;
 }  // namespace
 
-bool Scheduler::idle_step(int round) {
+void Scheduler::poll_timers(ProcCore& core) {
+  const double now = plat_.now_us();
+  if (now >= core.timer_refresh_us) {
+    core.cached_deadline_us = next_deadline_.load(std::memory_order_acquire);
+    core.timer_refresh_us = now + kTimerRefreshUs;
+  }
+  if (now >= core.cached_deadline_us) {
+    run_expired_timers();
+    core.cached_deadline_us = next_deadline_.load(std::memory_order_acquire);
+  }
+}
+
+std::optional<ThreadState> Scheduler::idle_step(ProcCore& core) {
   IdleWaiter* w = acquire_idle_waiter();
   if (w != nullptr && w->poll() > 0) {
     release_idle_waiter();
-    return true;  // woke work; restart backoff and re-attempt the dequeue
+    core.backoff_round = 0;  // woke work; re-attempt the dequeue
+    return std::nullopt;
   }
+  const int round = ++core.backoff_round;
   if (round <= kIdleSpinRounds) {
     if (w != nullptr) release_idle_waiter();
     plat_.work(cfg_.costs.poll_instr);
-    return false;
+    return std::nullopt;
   }
   MPNJ_METRIC_COUNT(kSchedIdleBackoff, 1);
   const int shift = std::min(round - kIdleSpinRounds - 1, 30);
   double max_us = std::min(kIdleWaitBaseUs * static_cast<double>(1u << shift),
                            kIdleWaitMaxUs);
-  // Never sleep past the next timer deadline: with every proc waiting in
-  // the reactor, this clamp is what keeps CML timeout events firing.
+  // Never sleep past the next timer deadline: parks re-read the shared
+  // deadline (the per-proc cursor may be stale by kTimerRefreshUs).
   const double deadline = next_deadline_.load(std::memory_order_acquire);
   if (deadline < std::numeric_limits<double>::infinity()) {
     max_us = std::min(max_us, std::max(deadline - plat_.now_us(), 0.0));
@@ -116,17 +150,130 @@ bool Scheduler::idle_step(int round) {
   if (max_us <= 0) {
     if (w != nullptr) release_idle_waiter();
     plat_.work(cfg_.costs.poll_instr);
-    return false;
+    return std::nullopt;
   }
-  bool woke = false;
+  // Reactor election: exactly one idle proc blocks inside the reactor's
+  // kernel wait (it owns the fd set); everyone else parks on its own port
+  // and is woken individually by wake_one.
+  std::optional<ThreadState> found;
   if (w != nullptr) {
-    woke = w->wait(max_us) > 0;
+    int expect = -1;
+    if (io_waiter_proc_.compare_exchange_strong(expect, core.id,
+                                                std::memory_order_seq_cst)) {
+      found = park_on(core, ParkState::kParkedReactor, w, max_us);
+      io_waiter_proc_.store(-1, std::memory_order_seq_cst);
+    } else {
+      found = park_on(core, ParkState::kParkedPort, nullptr, max_us);
+    }
     release_idle_waiter();
   } else {
-    plat_.idle_wait(max_us);
+    found = park_on(core, ParkState::kParkedPort, nullptr, max_us);
   }
   plat_.work(cfg_.costs.poll_instr);
-  return woke;
+  return found;
+}
+
+std::optional<ThreadState> Scheduler::park_on(ProcCore& core, ParkState venue,
+                                              IdleWaiter* w, double max_us) {
+#if MPNJ_METRICS
+  core.pending_wake_us = -1.0;  // a wake that led to no dispatch expires
+#endif
+  core.park_state.store(venue, std::memory_order_seq_cst);
+  parked_count_.fetch_add(1, std::memory_order_seq_cst);
+  // Re-check destructively: wake_one enqueues before scanning park states,
+  // so either this dequeue sees the new work or the scan sees us parked —
+  // the wakeup cannot fall between.
+  if (std::optional<ThreadState> t = queue_->deq(plat_)) {
+    core.park_state.exchange(ParkState::kRunning, std::memory_order_seq_cst);
+    parked_count_.fetch_sub(1, std::memory_order_seq_cst);
+    return t;
+  }
+  MPNJ_METRIC_COUNT(kSchedParkWaits, 1);
+#if MPNJ_METRICS
+  const double park_start = plat_.now_us();
+#endif
+  bool woke = false;
+  if (venue == ParkState::kParkedReactor) {
+    woke = w->wait(max_us) > 0;
+  } else {
+    plat_.park_proc(max_us);
+  }
+  const ParkState prev =
+      core.park_state.exchange(ParkState::kRunning, std::memory_order_seq_cst);
+  parked_count_.fetch_sub(1, std::memory_order_seq_cst);
+#if MPNJ_METRICS
+  const double parked_us = plat_.now_us() - park_start;
+  MPNJ_METRIC_RECORD(kSchedParkUs,
+                     parked_us > 0 ? static_cast<std::uint64_t>(parked_us) : 0);
+#endif
+  if (prev == ParkState::kWakePending) {
+    MPNJ_METRIC_COUNT(kSchedParkWakeups, 1);
+#if MPNJ_METRICS
+    core.pending_wake_us = core.wake_posted_us.load(std::memory_order_relaxed);
+#endif
+    woke = true;
+  }
+  if (woke) core.backoff_round = 0;
+  return std::nullopt;
+}
+
+void Scheduler::wake_one() {
+  // Figure 3 mode (hold_procs=false) keeps no idle procs to wake: empty
+  // procs release themselves and fork re-acquires.
+  if (!cfg_.hold_procs) return;
+  // The enqueue this wake follows must be ordered before the parked-state
+  // reads (the other half of park_on's publish/re-check).  A seq_cst RMW on
+  // parked_count_ is both the Dekker store-load barrier and the fast-path
+  // read: park_on increments with a seq_cst RMW on the same word, so either
+  // this read observes the parker (and the scan finds it) or the parker's
+  // increment reads from this RMW and its queue re-check sees the enqueue.
+  // (An atomic_thread_fence would also do, but TSan does not model fences.)
+  if (parked_count_.fetch_add(0, std::memory_order_seq_cst) == 0) return;
+  for (auto& cp : cores_) {
+    ProcCore& c = *cp;
+    ParkState st = c.park_state.load(std::memory_order_seq_cst);
+    if (st != ParkState::kParkedPort && st != ParkState::kParkedReactor) {
+      continue;
+    }
+    // Stamp before the claim so the sleeper always reads a valid time.
+    c.wake_posted_us.store(plat_.now_us(), std::memory_order_relaxed);
+    if (!c.park_state.compare_exchange_strong(st, ParkState::kWakePending,
+                                              std::memory_order_seq_cst)) {
+      continue;  // raced with the sleeper or another waker; try the next
+    }
+    if (st == ParkState::kParkedReactor) {
+      if (IdleWaiter* w = acquire_idle_waiter()) {
+        w->notify();
+        release_idle_waiter();
+      }
+    } else {
+      plat_.unpark_proc(c.id);
+    }
+    return;  // exactly one proc woken
+  }
+}
+
+void Scheduler::wake_all() {
+  for (auto& cp : cores_) {
+    ProcCore& c = *cp;
+    ParkState st = c.park_state.load(std::memory_order_seq_cst);
+    if (st != ParkState::kParkedPort && st != ParkState::kParkedReactor) {
+      continue;
+    }
+    c.wake_posted_us.store(plat_.now_us(), std::memory_order_relaxed);
+    if (!c.park_state.compare_exchange_strong(st, ParkState::kWakePending,
+                                              std::memory_order_seq_cst)) {
+      continue;
+    }
+    if (st == ParkState::kParkedReactor) {
+      if (IdleWaiter* w = acquire_idle_waiter()) {
+        w->notify();
+        release_idle_waiter();
+      }
+    } else {
+      plat_.unpark_proc(c.id);
+    }
+  }
 }
 
 IdleWaiter* Scheduler::acquire_idle_waiter() {
@@ -247,9 +394,15 @@ void Scheduler::suspend(const std::function<void(ThreadState)>& park) {
 
 void Scheduler::reschedule(ThreadState t) {
 #if MPNJ_METRICS
-  ready_count_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics::registry().enabled()) {
+    ready_count_.fetch_add(1, std::memory_order_relaxed);
+  }
 #endif
   queue_->enq(plat_, std::move(t));
+  // Every wakeup source — sync.cpp reschedules, CML offer commits, reactor
+  // callbacks, timer fires — funnels through this enqueue, so the single
+  // wake_one here is the whole targeted-wakeup protocol's entry point.
+  wake_one();
 }
 
 void Scheduler::cancel(ThreadState t) {
@@ -267,6 +420,7 @@ void Scheduler::dispatch_from_blocked() {
 
 void Scheduler::at(double deadline_us, std::function<void()> fn) {
   plat_.lock(timer_lock_);
+  const double previous = next_deadline_.load(std::memory_order_relaxed);
   timers_.push_back(Timer{deadline_us, std::move(fn)});
   std::push_heap(timers_.begin(), timers_.end(),
                  [](const Timer& a, const Timer& b) {
@@ -275,6 +429,11 @@ void Scheduler::at(double deadline_us, std::function<void()> fn) {
   const double earliest = timers_.front().deadline;
   next_deadline_.store(earliest, std::memory_order_release);
   plat_.unlock(timer_lock_);
+  if (earliest < previous) {
+    // The horizon moved closer: a parked proc may be sleeping past it.
+    // Waking one is enough — it re-reads the deadline before re-parking.
+    wake_one();
+  }
 }
 
 void Scheduler::run_expired_timers() {
@@ -344,6 +503,9 @@ void Scheduler::run(Platform& platform, SchedulerConfig config,
                  "thread deadlock: forked threads never completed");
     }
     sched.shutdown_.store(true, std::memory_order_release);
+    // Parked procs would otherwise only notice shutdown when their bounded
+    // parks expire; unpark everyone so release is prompt.
+    sched.wake_all();
     // Wait until the held worker procs have observed shutdown and released
     // themselves; the scheduler must outlive every dispatch loop.
     while (platform.active_procs() > 1) platform.work(10);

@@ -4,8 +4,11 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "metrics/metrics.h"
+#include "threads/proc_core.h"
 #include "threads/queue.h"
 #include "threads/trace.h"
 
@@ -23,11 +26,12 @@ struct SchedCosts {
   double poll_instr = 40;      // one empty-queue polling iteration
 };
 
-// Pluggable idle-wait hook: an external event source (the src/io reactor)
-// that idle procs poll and wait on instead of busy-spinning, so a proc
-// never burns a processor — or blocks in the kernel — while runnable
-// threads exist elsewhere.  All methods may be called from any proc
-// concurrently; wait() must bound its own blocking and keep both ends at
+// Pluggable idle-wait hook: the src/io reactor's poll surface.  At most one
+// idle proc at a time — the winner of the scheduler's reactor election —
+// blocks in wait(); every other idle proc parks on its own per-proc port
+// and is woken by the scheduler's targeted wake_one.  All methods may still
+// be called from any proc concurrently (busy procs call poll() on a
+// cadence); wait() must bound its own blocking and keep both ends at
 // platform safe points.
 class IdleWaiter {
  public:
@@ -43,8 +47,11 @@ class IdleWaiter {
 };
 
 struct SchedulerConfig {
-  // Queue discipline; null selects the paper's evaluated configuration
-  // (distributed per-proc run queues).
+  // Queue discipline; null selects the default: lock-free per-proc
+  // work-stealing deques (WorkStealingQueue).  The paper's evaluated
+  // configuration (distributed lock-per-proc run queues) and the Figure 3
+  // central queue remain available for ablation — see workloads/runner.cpp
+  // make_queue.
   std::unique_ptr<ReadyQueue> queue;
   // Acquire as many procs as possible at startup and hold them for the
   // duration (section 3.1's advice; what the evaluation does).  When false,
@@ -143,18 +150,32 @@ class Scheduler {
   [[noreturn]] void dispatch();
   void worker_loop();
   void on_preempt();
+  void poll_timers(ProcCore& core);
   void run_expired_timers();
   IdleWaiter* acquire_idle_waiter();
   void release_idle_waiter();
   void maybe_poll_io();
   // One step of the idle loop: reactor poll, then bounded exponential
-  // backoff (spin -> escalating waits).  `round` counts consecutive empty
-  // dispatch attempts on this proc; returns true when the step woke work
-  // (caller restarts the backoff sequence).
-  bool idle_step(int round);
+  // backoff (spin -> targeted parks).  Uses and advances core.backoff_round;
+  // may return a thread found by the park-time re-check, which the caller
+  // dispatches.
+  std::optional<ThreadState> idle_step(ProcCore& core);
+  // Publish `venue`, re-check the queue, then block (bounded) on the proc's
+  // port or in the reactor's wait.  The destructive re-check is what closes
+  // the sleep/wakeup race: the waker enqueues before scanning park states.
+  std::optional<ThreadState> park_on(ProcCore& core, ParkState venue,
+                                     IdleWaiter* w, double max_us);
+  // Unpark exactly one parked proc (called after every enqueue); no-op when
+  // nobody is parked.  wake_all unparks everyone (shutdown).
+  void wake_one();
+  void wake_all();
 
   Platform& plat_;
   SchedulerConfig cfg_;
+  // Per-proc scheduling cores (proc_core.h): the work-stealing deques, the
+  // park/unpark handshakes, and the idle/timer cursors.  Declared before
+  // queue_ so any queue that binds them is destroyed while they are alive.
+  std::vector<std::unique_ptr<ProcCore>> cores_;
   std::unique_ptr<ReadyQueue> queue_;
   MutexLock next_id_lock_;
   int next_id_ = 1;
@@ -171,14 +192,25 @@ class Scheduler {
   // waiter is destroyed; both sides use seq_cst (idle path only).
   std::atomic<IdleWaiter*> idle_waiter_{nullptr};
   std::atomic<int> idle_waiter_users_{0};
+  // The one proc currently electing to block inside the reactor's kernel
+  // wait (-1 when none): every other idle proc parks on its own port and is
+  // woken by wake_one, so losing the reactor election no longer costs a
+  // blind nap.
+  std::atomic<int> io_waiter_proc_{-1};
+  // Procs currently parked (port or reactor); lets wake_one's common case —
+  // every proc busy — skip the core scan with one load.
+  std::atomic<int> parked_count_{0};
   // Next platform time a busy dispatch loop drains the reactor, so fds are
   // still serviced while every proc has runnable threads.
   std::atomic<double> next_io_poll_us_{0};
 
+#if MPNJ_METRICS
   // Ready-thread count mirrored outside the queue (the queues' own sizes are
   // lock-protected and differ per discipline); feeds the run-queue-depth
-  // histogram at dispatch.  Only touched in instrumented builds.
+  // histogram at dispatch.  Compiled out with metrics, and skipped at
+  // runtime when the registry is disabled.
   std::atomic<long> ready_count_{0};
+#endif
 };
 
 }  // namespace mp::threads

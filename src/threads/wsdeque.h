@@ -1,0 +1,155 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "arch/cacheline.h"
+#include "threads/queue_types.h"
+
+// Chase–Lev work-stealing deque specialized to ready-queue entries.
+//
+// One proc owns each deque: the owner pushes and pops at the bottom without
+// any atomic read-modify-write on the fast path, thieves take from the top
+// with a single compare-and-swap.  The orderings follow Lê/Pop/Cohen/
+// Nardelli ("Correct and Efficient Work-Stealing for Weak Memory Models",
+// PPoPP'13) with one deliberate deviation: the store-load orderings that
+// the original expresses through standalone seq_cst fences are carried by
+// the bottom/top operations themselves, because ThreadSanitizer (which the
+// CI sched-stress leg runs against this code) does not model standalone
+// fences and would report false races on the slot array.  Every slot is an
+// atomic pointer for the same reason; the extra cost on x86 is one
+// store-load barrier per owner pop.
+//
+// Entries are heap-allocated ThreadState cells (ThreadState itself holds a
+// non-trivially-copyable ContRef, so slots hold owning pointers; whoever
+// takes an entry deletes the cell after moving the state out).  The array
+// grows under the owner; superseded arrays are retired, not freed, until
+// the deque is destroyed, so a thief racing a growth still reads valid —
+// possibly stale, CAS-rejected — memory.
+
+namespace mp::threads {
+
+class WsDeque {
+ public:
+  enum class Steal { kEmpty, kLost, kGot };
+
+  explicit WsDeque(std::int64_t capacity = 64) {
+    array_.store(new Array(round_up(capacity)), std::memory_order_relaxed);
+  }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  ~WsDeque() {
+    // Single-threaded by contract at destruction: drain owners' leftovers,
+    // then free the live array and everything retired by growth.
+    while (ThreadState* t = pop()) delete t;
+    delete array_.load(std::memory_order_relaxed);
+    for (Array* a : retired_) delete a;
+  }
+
+  // Owner only: push `t` at the bottom.  Takes ownership of the cell.
+  void push(ThreadState* t) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t top = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - top > a->cap - 1) a = grow(a, top, b);
+    a->slot(b).store(t, std::memory_order_relaxed);
+    // The release publishes the slot store to any thief that acquires the
+    // new bottom.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  // Owner only: pop from the bottom (LIFO).  Null when empty.
+  ThreadState* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    // seq_cst store-then-load: the reservation of slot b must be visible
+    // before top is read, or a thief could take the same entry.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t top = top_.load(std::memory_order_seq_cst);
+    if (top > b) {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    ThreadState* t = a->slot(b).load(std::memory_order_relaxed);
+    if (top == b) {
+      // Last entry: race the thieves for it with the same CAS they use.
+      if (!top_.compare_exchange_strong(top, top + 1,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        t = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return t;
+  }
+
+  // Any proc: take from the top (FIFO order).  kLost means the single CAS
+  // was beaten by a concurrent taker — the entry went somewhere, so a
+  // retrying thief still makes global progress.
+  Steal steal(ThreadState** out) {
+    std::int64_t top = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (top >= b) return Steal::kEmpty;
+    Array* a = array_.load(std::memory_order_acquire);
+    ThreadState* t = a->slot(top).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(top, top + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return Steal::kLost;
+    }
+    *out = t;
+    return Steal::kGot;
+  }
+
+  // Racy size estimate (never negative); cheap enough for victim peeks.
+  std::int64_t approx_size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t top = top_.load(std::memory_order_relaxed);
+    return b > top ? b - top : 0;
+  }
+
+  bool empty() const { return approx_size() == 0; }
+
+ private:
+  struct Array {
+    explicit Array(std::int64_t capacity)
+        : cap(capacity), mask(capacity - 1),
+          slots(new std::atomic<ThreadState*>[static_cast<std::size_t>(
+              capacity)]) {}
+    ~Array() { delete[] slots; }
+    std::atomic<ThreadState*>& slot(std::int64_t i) {
+      return slots[i & mask];
+    }
+    const std::int64_t cap;
+    const std::int64_t mask;
+    std::atomic<ThreadState*>* const slots;
+  };
+
+  static std::int64_t round_up(std::int64_t n) {
+    std::int64_t cap = 8;
+    while (cap < n) cap <<= 1;
+    return cap;
+  }
+
+  Array* grow(Array* old, std::int64_t top, std::int64_t b) {
+    Array* bigger = new Array(old->cap * 2);
+    for (std::int64_t i = top; i < b; i++) {
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    array_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);  // thieves may still be reading it
+    return bigger;
+  }
+
+  // top and bottom on separate lines: thieves hammer top with CAS while the
+  // owner's push/pop traffic should stay local to bottom.
+  alignas(arch::kCacheLine) std::atomic<std::int64_t> top_{0};
+  alignas(arch::kCacheLine) std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Array*> array_{nullptr};
+  std::vector<Array*> retired_;  // owner-only; freed at destruction
+};
+
+}  // namespace mp::threads

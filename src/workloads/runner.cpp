@@ -6,10 +6,23 @@
 namespace mp::workloads {
 
 std::unique_ptr<threads::ReadyQueue> make_queue(const std::string& name) {
+  if (name == "ws" || name == "work-stealing") {
+    return std::make_unique<threads::WorkStealingQueue>();
+  }
+  if (name == "ws-lifo") {
+    return std::make_unique<threads::WorkStealingQueue>(
+        threads::WorkStealingQueue::OwnerOrder::kLifo);
+  }
   if (name == "distributed") return std::make_unique<threads::DistributedQueue>();
-  if (name == "fifo") return std::make_unique<threads::CentralFifoQueue>();
-  if (name == "lifo") return std::make_unique<threads::CentralLifoQueue>();
-  if (name == "random") return std::make_unique<threads::RandomQueue>();
+  if (name == "fifo" || name == "central-fifo") {
+    return std::make_unique<threads::CentralFifoQueue>();
+  }
+  if (name == "lifo" || name == "central-lifo") {
+    return std::make_unique<threads::CentralLifoQueue>();
+  }
+  if (name == "random" || name == "central-random") {
+    return std::make_unique<threads::RandomQueue>();
+  }
   arch::panic("unknown queue discipline '%s'", name.c_str());
 }
 

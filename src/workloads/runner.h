@@ -25,7 +25,11 @@ struct SimRunSpec {
   // Signal-based preemption quantum (a 1990s Unix scheduling tick).
   double preempt_interval_us = 20000;
   bool hold_procs = true;
-  std::string queue = "distributed";  // distributed|fifo|lifo|random
+  // Queue discipline (the paper-faithful harness default is the evaluated
+  // distributed lock-per-proc configuration; the scheduler's own default is
+  // "ws").  Accepted: ws|ws-lifo|distributed|central-fifo|central-lifo|
+  // central-random (plus the bare fifo|lifo|random aliases).
+  std::string queue = "distributed";
   double lock_backoff_us = 0;
   // T5 ablation: make collections free of virtual time ("if garbage
   // collection time were omitted", section 6).
