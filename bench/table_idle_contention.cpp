@@ -38,5 +38,40 @@ int main(int argc, char** argv) {
   bench::rule();
   std::printf("idle%% counts both no-work polling and GC clean-point waits;\n");
   std::printf("spin%% is time spent spinning on MP mutex locks\n");
+
+  // A-LOCK companion: the same idle/spin lens on a data lock once threads
+  // outnumber procs (the contention regime section 6 only brushes against).
+  // The tas baseline burns proc time in guard spins and backoff delays;
+  // queue claims park through the scheduler, so the burn column collapses
+  // while throughput and the max-waiter-delay fairness column improve.
+  std::printf("\n");
+  bench::header("A-LOCK/idle", "data-lock contention at high thread:proc "
+                "ratios (4 procs)",
+                "parking queue locks never burn a proc on a waiter; the "
+                "tas+backoff baseline spins at the guard");
+  constexpr int kProcs = 4;
+  const std::vector<int> ratios =
+      quick ? std::vector<int>{16} : std::vector<int>{16, 32};
+  const int iters = quick ? 20 : 40;
+  std::printf("%7s | %5s | %9s | %12s %12s | %8s %6s\n", "ratio", "disc",
+              "ops/ms", "max wait(us)", "avg wait(us)", "spin(us)", "parks");
+  bench::rule();
+  for (const int ratio : ratios) {
+    const int threads = kProcs * ratio;
+    for (const char* disc : {"tas", "queue"}) {
+      if (!bench::discipline_row_enabled(disc)) continue;
+      const auto r = bench::contended_mutex(
+          std::strcmp(disc, "tas") == 0 ? mp::threads::LockDiscipline::kTas
+                                        : mp::threads::LockDiscipline::kQueue,
+          kProcs, threads, iters);
+      std::printf("%4d:%-2d | %5s | %9.1f | %12.0f %12.1f | %8.0f %6llu\n",
+                  threads, kProcs, disc, r.ops_per_ms, r.max_wait_us,
+                  r.avg_wait_us, r.spin_us,
+                  static_cast<unsigned long long>(r.park_waits));
+    }
+  }
+  bench::rule();
+  std::printf("spin(us) is summed proc time in MP-lock spin loops; parks is\n");
+  std::printf("lock_park_waits — waits absorbed by the scheduler instead\n");
   return 0;
 }

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+
+#include "arch/cacheline.h"
+
+namespace mp::arch {
+
+// Per-OS-thread freelist of cache-line-padded nodes.  Queue locks
+// (threads/qlock.h) allocate one claim node per acquisition; taking that
+// allocation off malloc matters because the node is on the acquire fast
+// path, and keeping each freelist thread-private means push/pop need no
+// synchronization at all — nodes simply migrate between pools when a lock
+// is released on a different proc than it was acquired on (the same scheme
+// the scheduler's recycled ThreadState cells use, proc_core.h).
+//
+// Requirements on T: cache-line aligned (alignas(kCacheLine)), default
+// constructible, and exposing an intrusive `T* pool_next` link that is dead
+// while the node is in use.  Callers must re-initialize all protocol fields
+// after get(): the pool returns nodes exactly as put() received them.
+template <typename T>
+class PaddedPool {
+  static_assert(alignof(T) >= kCacheLine,
+                "pooled nodes must be cache-line aligned (alignas)");
+
+ public:
+  // Nodes cached per thread beyond which put() frees to the allocator; a
+  // bound, not a reservation — an idle thread holds nothing.
+  static constexpr int kMaxCached = 64;
+
+  static T* get() {
+    Cache& c = cache();
+    if (c.head != nullptr) {
+      T* n = c.head;
+      c.head = n->pool_next;
+      c.count--;
+      n->pool_next = nullptr;
+      return n;
+    }
+    return new T();  // operator new honours alignas over-alignment
+  }
+
+  static void put(T* n) {
+    Cache& c = cache();
+    if (c.count >= kMaxCached) {
+      delete n;
+      return;
+    }
+    n->pool_next = c.head;
+    c.head = n;
+    c.count++;
+  }
+
+ private:
+  struct Cache {
+    T* head = nullptr;
+    int count = 0;
+    ~Cache() {
+      while (head != nullptr) {
+        T* next = head->pool_next;
+        delete head;
+        head = next;
+      }
+    }
+  };
+
+  static Cache& cache() {
+    thread_local Cache c;
+    return c;
+  }
+};
+
+}  // namespace mp::arch

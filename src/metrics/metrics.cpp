@@ -9,7 +9,8 @@ namespace {
 
 constexpr const char* kCounterNames[kNumCounters] = {
     "lock_acquires",         "lock_contended",        "lock_spin_iters",
-    "lock_backoff_rounds",   "gc_minor",              "gc_major",
+    "lock_backoff_rounds",   "lock_park_waits",       "lock_handoffs",
+    "gc_minor",              "gc_major",
     "gc_pause_us_total",     "gc_words_copied",       "gc_words_copied_minor",
     "gc_words_copied_major", "gc_alloc_words",        "gc_allocs",
     "gc_stores_recorded",    "gc_chunk_grabs",        "gc_chunk_steals",
@@ -32,6 +33,8 @@ constexpr const char* kHistoNames[kNumHistos] = {
     "gc_par_steals_per_gc",
     "gc_par_term_rounds_per_gc",
     "lock_spin_iters",
+    "lock_hold_us",
+    "lock_wait_us",
     "run_queue_depth",
     "sched_park_us",
     "sched_wake_to_dispatch_us",

@@ -37,6 +37,9 @@ enum class Counter : std::uint32_t {
   kLockContended,      // acquisitions that had to spin at least once
   kLockSpinIters,      // total failed test-and-set retries while spinning
   kLockBackoffRounds,  // exponential-backoff delays taken while spinning
+  // Thread-level queue locks (threads/qlock.h, threads/sync.h).
+  kLockParkWaits,      // claims that parked the thread after the bounded spin
+  kLockHandoffs,       // direct grants that rescheduled a parked waiter
   // Heap (gc/heap.cpp).  The structural counters double as the storage
   // behind Heap::stats() and are counted through the always-on tier (see
   // count_always below), so heap statistics survive MPNJ_METRICS=0.
@@ -101,6 +104,8 @@ enum class Histo : std::uint32_t {
   kGcParSteals,       // overflow-stack steals per parallel collection
   kGcParTermRounds,   // termination-detector rounds per parallel collection
   kLockSpinIters,  // spin iterations per contended acquisition
+  kLockHoldUs,     // queue-mutex hold time, acquire to release (microseconds)
+  kLockWaitUs,     // queue-mutex wait time per contended acquire (microseconds)
   kRunQueueDepth,  // ready-queue length observed at each dispatch
   kSchedParkUs,    // time spent per bounded park (microseconds)
   kSchedWakeToDispatchUs,  // wake_one claim to next dispatch on the woken proc

@@ -168,6 +168,12 @@ class Platform : public gc::Rendezvous, public gc::Accounting {
   // claims).  Free on real hardware; the simulator charges the machine
   // model's CAS cost and a bus transaction.
   virtual void charge_cas() {}
+  // Account one queue-lock direct handoff (threads/qlock.h): the grant
+  // exchange plus the line transfer that moves the freshly released state to
+  // the next holder's cache.  Free on real hardware (the traffic is the
+  // cost); the simulator charges the machine model's handoff latency so
+  // lock-bound traces stay deterministic.
+  virtual void charge_lock_handoff() {}
   // Deterministic per-proc random stream (scheduling decisions, workloads).
   virtual arch::Rng& rng() = 0;
 

@@ -258,6 +258,13 @@ void SimPlatform::charge_cas() {
   }
 }
 
+void SimPlatform::charge_lock_handoff() {
+  engine_->charge_instr(cfg_.machine.lock_handoff_instr);
+  if (!cfg_.machine.hardware_lock_bus) {
+    engine_->bus_transfer(cfg_.machine.tas_bus_bytes);
+  }
+}
+
 void SimPlatform::end_idle_poll() {
   SimProc& p = static_cast<SimProc&>(self());
   if (p.idle_polling) {

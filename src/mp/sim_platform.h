@@ -70,6 +70,7 @@ class SimPlatform final : public Platform {
   void park_proc(double max_us) override;
   void unpark_proc(int proc_id) override;
   void charge_cas() override;
+  void charge_lock_handoff() override;
   arch::Rng& rng() override;
   void set_preempt_interval(double us) override;
 

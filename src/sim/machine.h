@@ -34,6 +34,9 @@ struct MachineModel {
 
   // --- per-proc scheduling core (work stealing + targeted wakeups) ---
   double cas_instr = 30.0;       // one compare-and-swap (steal, park claim)
+  // Queue-lock direct handoff (threads/qlock.h): the grant exchange plus the
+  // line transfer carrying the released state to the next holder's cache.
+  double lock_handoff_instr = 40.0;
   double park_us = 8.0;          // entering the kernel park (port wait setup)
   double unpark_instr = 150.0;   // targeted wakeup delivery (eventfd write)
   // Granularity at which a parked proc notices a posted unpark; also the

@@ -2,17 +2,48 @@
 
 #include <deque>
 
+#include "threads/qlock.h"
 #include "threads/scheduler.h"
 
 // Thread-level synchronization synthesized from mutex locks, refs and
 // first-class continuations, as section 3.3 promises ("more elaborate
 // synchronization constructs such as reader/writer locks, semaphores,
 // channels, etc., can be synthesized from mutex locks, refs, and
-// first-class continuations").  Each primitive protects its state with an
-// MP spin lock and parks waiting threads as continuations, so a blocked
-// thread costs nothing and its proc runs other work.
+// first-class continuations").  Parked threads cost nothing and their proc
+// runs other work; a release hands ownership to a waiter directly.
+//
+// Two lock disciplines implement that contract (docs/SYNC.md):
+//
+//   queue (default) — the MCS-style claim/release core of qlock.h.  Each
+//     waiter owns a cache-line-padded claim node, joins with one RMW, spins
+//     briefly on its own flag and then parks through the scheduler, and
+//     each release grants the head claim directly: FIFO-fair across procs,
+//     no shared spin word, no proc ever burned on a waiter.  The RWLock is
+//     phase-fair in this mode: a releasing writer admits the whole waiting
+//     reader batch before the next writer.
+//
+//   tas — the paper's protocol kept as the ablation baseline (MPNJ_LOCK=tas):
+//     state guarded by a platform test-and-set MutexLock (Anderson backoff
+//     per the platform's lock_backoff knob), waiters parked on a deque.
+//     The RWLock is writer-preferring in this mode.
+//
+// The discipline is chosen once per primitive at construction from
+// MPNJ_LOCK (or set_lock_discipline), mirroring the MPNJ_QUEUE knob.
 
 namespace mp::threads {
+
+// Which waiting protocol newly constructed primitives use.
+enum class LockDiscipline {
+  kQueue,  // qlock.h claim/release core (default)
+  kTas,    // paper baseline: test-and-set guard + Anderson backoff
+};
+
+// Process-wide discipline: MPNJ_LOCK=tas|queue in the environment, else
+// kQueue.  set_lock_discipline overrides the environment (benches, tests);
+// primitives sample the discipline in their constructor, so flipping it
+// does not affect live objects.
+LockDiscipline lock_discipline();
+void set_lock_discipline(LockDiscipline d);
 
 // Blocking mutual exclusion with direct ownership handoff to the longest
 // waiting thread.
@@ -22,9 +53,17 @@ class Mutex {
   void lock();
   bool try_lock();
   void unlock();
+  // Debug accessor (invariant checks): true while some thread holds the
+  // mutex.  Only meaningful to a caller that owns the lock or otherwise
+  // excludes concurrent lock/unlock.
+  bool held() const;
 
  private:
   Scheduler& sched_;
+  const bool tas_;
+  // queue discipline: the lock is the claim queue.
+  QueueLock q_;
+  // tas discipline: spin-guarded state + parked waiters.
   MutexLock spin_;
   bool held_ = false;
   std::deque<ThreadState> waiters_;
@@ -41,11 +80,15 @@ class CondVar {
 
  private:
   Scheduler& sched_;
-  MutexLock spin_;
+  const bool tas_;
+  MutexLock spin_;  // guards the waiter queue in both disciplines
+  WaitList qwaiters_;
   std::deque<ThreadState> waiters_;
 };
 
-// Cyclic barrier for `parties` threads.
+// Cyclic barrier for `parties` threads.  Safe to reuse immediately: each
+// episode is tagged with a generation, and a resumed waiter checks it was
+// released by its own generation's flip.
 class Barrier {
  public:
   Barrier(Scheduler& sched, int parties);
@@ -54,10 +97,12 @@ class Barrier {
 
  private:
   Scheduler& sched_;
+  const bool tas_;
   MutexLock spin_;
   int parties_;
   int waiting_ = 0;
   long generation_ = 0;
+  WaitList qwaiters_;
   std::deque<ThreadState> waiters_;
 };
 
@@ -71,13 +116,17 @@ class Semaphore {
 
  private:
   Scheduler& sched_;
+  const bool tas_;
   MutexLock spin_;
   long count_;
+  WaitList qwaiters_;
   std::deque<ThreadState> waiters_;
 };
 
-// Reader/writer lock, writer-preferring (new readers wait once a writer is
-// queued, so writers cannot starve).
+// Reader/writer lock.  Queue discipline: phase-fair — once a writer is
+// queued new readers wait, and a releasing writer admits the entire waiting
+// reader batch before the next writer, so neither side starves.  Tas
+// discipline (paper baseline): writer-preferring.
 class RWLock {
  public:
   explicit RWLock(Scheduler& sched);
@@ -88,9 +137,12 @@ class RWLock {
 
  private:
   Scheduler& sched_;
+  const bool tas_;
   MutexLock spin_;
   int readers_ = 0;
   bool writer_ = false;
+  WaitList qread_waiters_;
+  WaitList qwrite_waiters_;
   std::deque<ThreadState> read_waiters_;
   std::deque<ThreadState> write_waiters_;
 };
@@ -106,8 +158,10 @@ class CountdownLatch {
 
  private:
   Scheduler& sched_;
+  const bool tas_;
   MutexLock spin_;
   long count_;
+  WaitList qwaiters_;
   std::deque<ThreadState> waiters_;
 };
 
