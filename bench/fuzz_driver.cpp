@@ -1,0 +1,200 @@
+// Schedule-fuzz campaign driver (docs/FUZZING.md).
+//
+//   fuzz_driver --scenario qlock-storm --budget-s 60 --out fail.seed
+//   fuzz_driver --scenario all --budget-s 1200
+//   fuzz_driver --replay fail.seed
+//
+// Exit codes: 0 = no failures found (or replay reproduced consistently and
+// the run was clean), 1 = a failing schedule was found (seed file written)
+// or a replayed failure reproduced, 2 = usage/internal error, 3 = replay
+// was NOT deterministic (two consecutive runs disagreed, or the outcome
+// did not match the seed's recorded signature).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/driver.h"
+#include "fuzz/scenarios.h"
+
+namespace {
+
+using namespace mp::fuzz;
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr,
+               "usage: fuzz_driver [options]\n"
+               "  --scenario NAME   scenario to fuzz, or 'all' (default all)\n"
+               "  --budget-s N      wall-clock budget in seconds (default 60;\n"
+               "                    env MPNJ_FUZZ_BUDGET_S)\n"
+               "  --seed N          machine rng seed (default 0x5eed; env\n"
+               "                    MPNJ_FUZZ_SEED)\n"
+               "  --rng-seed N      mutation-generator seed (default 1)\n"
+               "  --procs N         simulated procs (default 4)\n"
+               "  --queue Q         ws | distributed (default ws)\n"
+               "  --sequential-gc   disable the parallel copier\n"
+               "  --scale N         workload size multiplier (default 1)\n"
+               "  --max-execs N     cap executions per scenario\n"
+               "  --no-snapshot     cold-fork every execution\n"
+               "  --out FILE        seed-file path for a find (default\n"
+               "                    fuzz-<scenario>-fail.seed)\n"
+               "  --inject LIST    set MPNJ_FUZZ_INJECT (comma-separated)\n"
+               "  --replay FILE     replay a seed file twice and compare\n"
+               "  --list            list scenarios\n");
+  std::exit(code);
+}
+
+double env_double(const char* name, double dflt) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : dflt;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0'
+             ? std::strtoull(v, nullptr, 0)
+             : dflt;
+}
+
+int do_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fuzz_driver: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  SeedFile seed;
+  std::string err;
+  if (!parse_seed_file(buf.str(), &seed, &err)) {
+    std::fprintf(stderr, "fuzz_driver: malformed seed file: %s\n",
+                 err.c_str());
+    return 2;
+  }
+  std::printf("replaying %s: scenario=%s seed=%llu procs=%d queue=%s "
+              "parallel-gc=%d mutations=%zu\n",
+              path.c_str(), seed.scenario.c_str(),
+              static_cast<unsigned long long>(seed.seed), seed.procs,
+              seed.queue.c_str(), seed.parallel_gc ? 1 : 0,
+              seed.mutations.size());
+  const RunResult a = replay_seed(seed);
+  const RunResult b = replay_seed(seed);
+  std::printf("run 1: %s\n", a.signature().c_str());
+  std::printf("run 2: %s\n", b.signature().c_str());
+  if (a.signature() != b.signature()) {
+    std::fprintf(stderr, "fuzz_driver: replay NOT deterministic\n");
+    return 3;
+  }
+  if (!seed.signature.empty() && a.signature() != seed.signature) {
+    std::fprintf(stderr,
+                 "fuzz_driver: outcome differs from recorded signature\n"
+                 "  recorded: %s\n",
+                 seed.signature.c_str());
+    return 3;
+  }
+  std::printf("replay deterministic: %s\n",
+              a.failed() ? "failure reproduced" : "run is clean");
+  return a.failed() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario = "all";
+  std::string out_path;
+  std::string replay_path;
+  DriverOptions opt;
+  opt.budget_s = env_double("MPNJ_FUZZ_BUDGET_S", 60);
+  opt.opts.seed = env_u64("MPNJ_FUZZ_SEED", 0x5eed);
+
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      scenario = next();
+    } else if (arg == "--budget-s") {
+      opt.budget_s = std::atof(next());
+    } else if (arg == "--seed") {
+      opt.opts.seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--rng-seed") {
+      opt.rng_seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--procs") {
+      opt.opts.procs = std::atoi(next());
+    } else if (arg == "--queue") {
+      opt.opts.queue = next();
+    } else if (arg == "--sequential-gc") {
+      opt.opts.parallel_gc = false;
+    } else if (arg == "--scale") {
+      opt.opts.scale = std::atoi(next());
+    } else if (arg == "--max-execs") {
+      opt.max_execs = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--no-snapshot") {
+      opt.use_snapshot = false;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--inject") {
+      setenv("MPNJ_FUZZ_INJECT", next(), 1);
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--list") {
+      for (const Scenario& s : scenarios()) {
+        std::printf("%-12s %s\n", s.name, s.description);
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::fprintf(stderr, "fuzz_driver: unknown option '%s'\n", arg.c_str());
+      usage(2);
+    }
+  }
+
+  if (!replay_path.empty()) return do_replay(replay_path);
+
+  std::vector<std::string> names;
+  if (scenario == "all") {
+    for (const Scenario& s : scenarios()) names.push_back(s.name);
+  } else {
+    if (find_scenario(scenario) == nullptr) {
+      std::fprintf(stderr, "fuzz_driver: unknown scenario '%s'\n",
+                   scenario.c_str());
+      return 2;
+    }
+    names.push_back(scenario);
+  }
+
+  opt.log = [](const std::string& msg) {
+    std::fprintf(stderr, "%s\n", msg.c_str());
+  };
+
+  const double per_scenario = opt.budget_s / static_cast<double>(names.size());
+  bool found = false;
+  for (const std::string& name : names) {
+    DriverOptions o = opt;
+    o.scenario = name;
+    o.budget_s = per_scenario;
+    const DriverResult r = fuzz_scenario(o);
+    std::printf("%-12s execs=%llu baseline=%llu decisions  %s\n", name.c_str(),
+                static_cast<unsigned long long>(r.executions),
+                static_cast<unsigned long long>(r.baseline_decisions),
+                r.found ? "FAILED" : "ok");
+    if (!r.found) continue;
+    found = true;
+    const std::string path =
+        out_path.empty() ? "fuzz-" + name + "-fail.seed" : out_path;
+    std::ofstream out(path);
+    out << format_seed_file(r.seed);
+    out.close();
+    std::printf("  signature: %s\n", r.seed.signature.c_str());
+    std::printf("  seed file: %s (replay with: fuzz_driver --replay %s)\n",
+                path.c_str(), path.c_str());
+  }
+  return found ? 1 : 0;
+}

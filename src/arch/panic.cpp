@@ -6,14 +6,27 @@
 
 namespace mp::arch {
 
+namespace {
+PanicHandler g_handler = nullptr;
+void* g_handler_arg = nullptr;
+}  // namespace
+
+void set_panic_handler(PanicHandler h, void* arg) {
+  g_handler = h;
+  g_handler_arg = arg;
+}
+
 [[noreturn]] void panic(const char* fmt, ...) {
+  char msg[512];
   std::va_list ap;
   va_start(ap, fmt);
-  std::fputs("mpnj: fatal: ", stderr);
-  std::vfprintf(stderr, fmt, ap);
-  std::fputc('\n', stderr);
+  std::vsnprintf(msg, sizeof(msg), fmt, ap);
   va_end(ap);
+  std::fputs("mpnj: fatal: ", stderr);
+  std::fputs(msg, stderr);
+  std::fputc('\n', stderr);
   std::fflush(stderr);
+  if (g_handler != nullptr) g_handler(msg, g_handler_arg);
   std::abort();
 }
 

@@ -8,6 +8,14 @@ namespace mp::arch {
 // frame.  printf-style formatting.
 [[noreturn]] void panic(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+// Last-chance observer run by panic() after the message is printed and
+// before abort().  The schedule fuzzer's forked executions install one that
+// ships the formatted message up a pipe and _exit()s; a handler that
+// returns falls through to the abort.  Process-global, not thread-safe to
+// install concurrently with a panic; pass nullptr to clear.
+using PanicHandler = void (*)(const char* msg, void* arg);
+void set_panic_handler(PanicHandler h, void* arg);
+
 // assert-like check that stays on in release builds; the runtime's invariants
 // guard memory safety of raw context switches, so they are never compiled out.
 #define MPNJ_CHECK(cond, ...)                                         \

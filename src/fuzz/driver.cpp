@@ -1,0 +1,260 @@
+#include "fuzz/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+
+#include "arch/rng.h"
+
+namespace mp::fuzz {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_until(Clock::time_point deadline) {
+  return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+void say(const DriverOptions& opt, const std::string& msg) {
+  if (opt.log) opt.log(msg);
+}
+
+std::string format_msg(const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+// The decision kinds worth aiming mutations at: the ones that sit inside
+// the runtime's race windows.  Cost points among them take jitter; pick
+// points can also take an override.
+bool interesting_kind(Kind k) {
+  switch (k) {
+    case Kind::kCas:
+    case Kind::kHandoff:
+    case Kind::kPark:
+    case Kind::kUnpark:
+    case Kind::kLockAcquire:
+    case Kind::kLockRelease:
+    case Kind::kWakeScan:
+    case Kind::kStealVictim:
+    case Kind::kGcTrigger:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Random mutation list against the baseline trace: mostly 1-3 mutations,
+// 3/4 of them aimed at interesting decision kinds.
+std::vector<Mutation> generate_mutations(arch::Rng& rng,
+                                         const ScheduleTrace& baseline,
+                                         const std::vector<std::uint64_t>&
+                                             interesting) {
+  const std::uint64_t total = baseline.count();
+  std::vector<Mutation> muts;
+  if (total == 0) return muts;
+  const std::uint64_t k = 1 + rng.below(3) + (rng.below(4) == 0 ? 2 : 0);
+  for (std::uint64_t i = 0; i < k; i++) {
+    Mutation m;
+    if (!interesting.empty() && rng.below(4) != 0) {
+      m.index = interesting[rng.below(interesting.size())];
+    } else {
+      m.index = rng.below(total);
+    }
+    const Decision& d = baseline.decisions[static_cast<std::size_t>(m.index)];
+    if (d.arity > 0 && rng.below(2) == 0) {
+      m.has_pick = true;
+      m.pick = rng.below(d.arity);
+    } else {
+      // Exponentially distributed virtual-time jitter, 0.5us .. 64us —
+      // enough to slide one proc across another's critical section.
+      m.jitter_us = 0.5 * static_cast<double>(1u << rng.below(8));
+    }
+    muts.push_back(m);
+  }
+  sort_mutations(muts);
+  return muts;
+}
+
+// ddmin-lite over the mutation list: greedily drop halves, then single
+// mutations, keeping any candidate that reproduces the same signature.
+// Then halve surviving jitters while the signature holds.
+std::vector<Mutation> shrink_mutations(Executor& ex,
+                                       std::vector<Mutation> muts,
+                                       const std::string& signature,
+                                       Clock::time_point deadline,
+                                       std::uint64_t* execs) {
+  auto reproduces = [&](const std::vector<Mutation>& cand) {
+    (*execs)++;
+    return ex.run(cand).signature() == signature;
+  };
+  bool progress = true;
+  while (progress && muts.size() > 1 && seconds_until(deadline) > 0) {
+    progress = false;
+    // Halves first.
+    for (int half = 0; half < 2 && muts.size() > 1; half++) {
+      std::vector<Mutation> cand(
+          muts.begin() + (half == 0 ? static_cast<long>(muts.size()) / 2 : 0),
+          half == 0 ? muts.end()
+                    : muts.begin() + static_cast<long>(muts.size()) / 2);
+      if (reproduces(cand)) {
+        muts = std::move(cand);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    // Then one-at-a-time removal.
+    for (std::size_t i = 0; i < muts.size() && muts.size() > 1; i++) {
+      std::vector<Mutation> cand = muts;
+      cand.erase(cand.begin() + static_cast<long>(i));
+      if (reproduces(cand)) {
+        muts = std::move(cand);
+        progress = true;
+        break;
+      }
+    }
+  }
+  // Minimize jitter magnitudes.
+  for (std::size_t i = 0; i < muts.size(); i++) {
+    while (!muts[i].has_pick && muts[i].jitter_us > 0.5 &&
+           seconds_until(deadline) > 0) {
+      std::vector<Mutation> cand = muts;
+      cand[i].jitter_us /= 2;
+      if (!reproduces(cand)) break;
+      muts = std::move(cand);
+    }
+  }
+  return muts;
+}
+
+}  // namespace
+
+SeedFile make_seed_file(const std::string& scenario, const ScenarioOpts& o) {
+  SeedFile s;
+  s.scenario = scenario;
+  s.seed = o.seed;
+  s.procs = o.procs;
+  s.queue = o.queue;
+  s.parallel_gc = o.parallel_gc;
+  return s;
+}
+
+ScenarioOpts opts_from_seed(const SeedFile& seed) {
+  ScenarioOpts o;
+  o.seed = seed.seed;
+  o.procs = seed.procs;
+  o.queue = seed.queue;
+  o.parallel_gc = seed.parallel_gc;
+  return o;
+}
+
+DriverResult fuzz_scenario(const DriverOptions& opt) {
+  DriverResult out;
+  const Clock::time_point deadline =
+      Clock::now() +
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(opt.budget_s));
+
+  // Baseline: one cold run with trace recording, to learn the decision
+  // stream and calibrate the per-execution decision budget.
+  ExecutorOptions base_eopt;
+  base_eopt.use_snapshot = false;
+  // Even the baseline gets a (generous) decision budget: an injected bug
+  // that livelocks the unmutated schedule should classify as kHang in
+  // milliseconds, not burn the wall-clock watchdog.
+  if (opt.decision_budget != 0) base_eopt.decision_budget = opt.decision_budget;
+  base_eopt.child_timeout_s = opt.child_timeout_s;
+  base_eopt.mute_child_stderr = true;
+  ScheduleTrace baseline;
+  {
+    Executor base_ex(scenario_body(opt.scenario, opt.opts), base_eopt);
+    out.baseline = base_ex.run({}, &baseline);
+    out.executions++;
+  }
+  out.baseline_decisions = baseline.count();
+  out.baseline_summary = baseline.summary();
+  say(opt, format_msg("[%s] baseline: %s (%s)", opt.scenario.c_str(),
+                      status_name(out.baseline.status),
+                      out.baseline_summary.c_str()));
+  if (out.baseline.failed()) {
+    // The unmutated schedule already fails: that is the find.
+    out.found = true;
+    out.failure = out.baseline;
+    out.seed = make_seed_file(opt.scenario, opt.opts);
+    out.seed.signature = out.baseline.signature();
+    return out;
+  }
+
+  ExecutorOptions eopt;
+  eopt.decision_budget = opt.decision_budget != 0
+                             ? opt.decision_budget
+                             : out.baseline_decisions * 8 + 10'000;
+  eopt.snapshot_at = 0;
+  eopt.use_snapshot = opt.use_snapshot;
+  eopt.child_timeout_s = opt.child_timeout_s;
+  eopt.mute_child_stderr = true;
+  Executor ex(scenario_body(opt.scenario, opt.opts), eopt);
+
+  std::vector<std::uint64_t> interesting;
+  for (std::uint64_t i = 0; i < baseline.count(); i++) {
+    if (interesting_kind(
+            baseline.decisions[static_cast<std::size_t>(i)].kind)) {
+      interesting.push_back(i);
+    }
+  }
+
+  arch::Rng rng(opt.rng_seed);
+  while (seconds_until(deadline) > 0 &&
+         (opt.max_execs == 0 || out.executions < opt.max_execs)) {
+    const std::vector<Mutation> muts =
+        generate_mutations(rng, baseline, interesting);
+    if (muts.empty()) break;  // nothing to mutate: trivial scenario
+    const RunResult r = ex.run(muts);
+    out.executions++;
+    if (!r.failed()) continue;
+
+    const std::string signature = r.signature();
+    say(opt, format_msg("[%s] FAILURE after %llu execs: %s",
+                        opt.scenario.c_str(),
+                        static_cast<unsigned long long>(out.executions),
+                        signature.c_str()));
+    const std::vector<Mutation> shrunk = shrink_mutations(
+        ex, muts, signature, deadline, &out.shrink_executions);
+    say(opt, format_msg("[%s] shrunk %zu -> %zu mutations",
+                        opt.scenario.c_str(), muts.size(), shrunk.size()));
+    out.found = true;
+    out.failure = r;
+    out.seed = make_seed_file(opt.scenario, opt.opts);
+    out.seed.decision_budget = eopt.decision_budget;
+    out.seed.mutations = shrunk;
+    out.seed.signature = signature;
+    return out;
+  }
+  say(opt, format_msg("[%s] no failures in %llu executions",
+                      opt.scenario.c_str(),
+                      static_cast<unsigned long long>(out.executions)));
+  return out;
+}
+
+RunResult replay_seed(const SeedFile& seed,
+                      std::uint64_t decision_budget_fallback,
+                      double child_timeout_s) {
+  ExecutorOptions eopt;
+  eopt.use_snapshot = false;
+  eopt.decision_budget = seed.decision_budget != 0
+                             ? seed.decision_budget
+                             : decision_budget_fallback;
+  eopt.child_timeout_s = child_timeout_s;
+  eopt.mute_child_stderr = true;
+  Executor ex(scenario_body(seed.scenario, opts_from_seed(seed)), eopt);
+  return ex.run(seed.mutations);
+}
+
+}  // namespace mp::fuzz

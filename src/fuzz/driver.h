@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fuzz/scenarios.h"
+#include "fuzz/snapshot.h"
+#include "fuzz/trace.h"
+
+// The fuzz campaign: record a scenario's baseline schedule, then keep
+// executing it under small random mutation lists — biased toward the
+// decision kinds where the synchronization protocols race — until a run
+// fails or the budget expires.  A failure is shrunk (ddmin over the
+// mutation list, keyed on the failure signature) and packaged as a
+// replayable seed file.
+
+namespace mp::fuzz {
+
+struct DriverOptions {
+  std::string scenario;
+  ScenarioOpts opts;
+  double budget_s = 30;         // wall-clock budget for the campaign
+  std::uint64_t max_execs = 0;  // 0 = no execution cap
+  std::uint64_t rng_seed = 1;   // mutation-generator seed (campaign identity)
+  // Per-execution decision cap; 0 derives one from the baseline trace.
+  std::uint64_t decision_budget = 0;
+  // Per-execution wall-clock watchdog (the decision budget catches almost
+  // every hang long before this).
+  double child_timeout_s = 20;
+  bool use_snapshot = true;
+  // Optional progress sink (fuzz_driver wires this to stderr).
+  std::function<void(const std::string&)> log;
+};
+
+struct DriverResult {
+  bool found = false;
+  SeedFile seed;          // shrunk repro (when found)
+  RunResult failure;      // the failing run's outcome (when found)
+  std::uint64_t executions = 0;
+  std::uint64_t shrink_executions = 0;
+  std::uint64_t baseline_decisions = 0;
+  std::string baseline_summary;
+  RunResult baseline;
+};
+
+// Run one fuzz campaign.  Stops at the first failure (shrunk) or when the
+// budget expires.
+DriverResult fuzz_scenario(const DriverOptions& opt);
+
+// Re-execute a seed file's mutation list once, cold (no snapshot server),
+// and return the outcome.  `decision_budget_fallback` applies when the
+// seed file carries no budget.
+RunResult replay_seed(const SeedFile& seed,
+                      std::uint64_t decision_budget_fallback = 5'000'000,
+                      double child_timeout_s = 60);
+
+// ScenarioOpts embedded in / extracted from a seed file.
+SeedFile make_seed_file(const std::string& scenario, const ScenarioOpts& o);
+ScenarioOpts opts_from_seed(const SeedFile& seed);
+
+}  // namespace mp::fuzz

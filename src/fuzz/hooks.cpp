@@ -1,0 +1,70 @@
+#include "fuzz/hooks.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mp::fuzz {
+
+namespace detail {
+std::atomic<DecisionSink*> g_sink{nullptr};
+}  // namespace detail
+
+void install_sink(DecisionSink* s) {
+  detail::g_sink.store(s, std::memory_order_relaxed);
+}
+
+DecisionSink* installed_sink() {
+  return detail::g_sink.load(std::memory_order_relaxed);
+}
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kLockAcquire: return "lock-acquire";
+    case Kind::kLockRelease: return "lock-release";
+    case Kind::kCas: return "cas";
+    case Kind::kHandoff: return "handoff";
+    case Kind::kPark: return "park";
+    case Kind::kUnpark: return "unpark";
+    case Kind::kStealVictim: return "steal-victim";
+    case Kind::kWakeScan: return "wake-scan";
+    case Kind::kAlloc: return "alloc";
+    case Kind::kGcTrigger: return "gc-trigger";
+    case Kind::kIoOrder: return "io-order";
+    case Kind::kPreemptArm: return "preempt-arm";
+    case Kind::kKindCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint32_t parse_injected() {
+  const char* env = std::getenv("MPNJ_FUZZ_INJECT");
+  if (env == nullptr) return 0;
+  std::uint32_t mask = 0;
+  if (std::strstr(env, "qlock-park-race") != nullptr) {
+    mask |= static_cast<std::uint32_t>(InjectedBug::kQlockParkRace);
+  }
+  if (std::strstr(env, "barrier-generation") != nullptr) {
+    mask |= static_cast<std::uint32_t>(InjectedBug::kBarrierGeneration);
+  }
+  return mask;
+}
+
+std::atomic<std::uint32_t>& injected_mask() {
+  static std::atomic<std::uint32_t> mask{parse_injected()};
+  return mask;
+}
+
+}  // namespace
+
+bool injected(InjectedBug b) {
+  return (injected_mask().load(std::memory_order_relaxed) &
+          static_cast<std::uint32_t>(b)) != 0;
+}
+
+void reparse_injected_bugs() {
+  injected_mask().store(parse_injected(), std::memory_order_relaxed);
+}
+
+}  // namespace mp::fuzz

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+// Decision-point hooks for the deterministic schedule fuzzer (docs/FUZZING.md).
+//
+// Every interleaving-visible nondeterministic decision in the runtime —
+// which victim a steal probes, which parked proc a wakeup claims, when a
+// preemption signal lands, whether a chunk refill collects early, the order
+// ready io events fire — funnels through one of two calls:
+//
+//   pick(kind, arity, dflt)   a discrete choice in [0, arity); `dflt` is the
+//                             uninstrumented decision (usually an rng draw)
+//   point(kind)               a cost point; returns virtual-time jitter (us)
+//                             the caller injects before proceeding
+//
+// With no sink installed (every production configuration, and all native
+// runs) both collapse to one relaxed load and the default: behavior and the
+// rng stream are bit-identical to an unhooked build.  The fuzzer installs a
+// sink only around single-threaded simulator executions, where it records
+// the decision sequence as a ScheduleTrace (fuzz/trace.h) and applies
+// mutations to individual decisions.
+//
+// `dflt` is evaluated by the caller even when a sink overrides it, so an
+// overridden run consumes the same rng draws as the recorded one — replay
+// stays byte-for-byte deterministic.
+
+namespace mp::fuzz {
+
+enum class Kind : std::uint8_t {
+  kLockAcquire = 0,  // MP spin-lock acquire (sim cost point)
+  kLockRelease,      // MP spin-lock release (sim cost point)
+  kCas,              // one hardware CAS: steals, park claims, qlock joins
+  kHandoff,          // queue-lock direct grant handoff
+  kPark,             // Platform::park_proc entry
+  kUnpark,           // Platform::unpark_proc kick
+  kStealVictim,      // which proc a steal scan starts at (choice)
+  kWakeScan,         // which core wake_one's claim scan starts at (choice)
+  kAlloc,            // heap allocation charge (sim cost point)
+  kGcTrigger,        // chunk refill: 1 forces an early collection (choice)
+  kIoOrder,          // rotation applied to the reactor's ready batch (choice)
+  kPreemptArm,       // jitter added to the next preemption deadline
+  kKindCount,
+};
+
+const char* kind_name(Kind k);
+
+class DecisionSink {
+ public:
+  virtual ~DecisionSink() = default;
+  // Discrete choice point: return a value in [0, arity).
+  virtual std::uint64_t on_pick(Kind k, std::uint64_t arity,
+                                std::uint64_t dflt) = 0;
+  // Cost point: return virtual-time jitter in microseconds (>= 0).
+  virtual double on_point(Kind k) = 0;
+};
+
+namespace detail {
+extern std::atomic<DecisionSink*> g_sink;
+}  // namespace detail
+
+// Install (or clear, with nullptr) the process-global sink.  Only legal
+// while no platform procs are running; the fuzzer installs it around
+// single-threaded simulator executions in forked children.
+void install_sink(DecisionSink* s);
+DecisionSink* installed_sink();
+
+inline std::uint64_t pick(Kind k, std::uint64_t arity, std::uint64_t dflt) {
+  DecisionSink* s = detail::g_sink.load(std::memory_order_relaxed);
+  return s == nullptr ? dflt : s->on_pick(k, arity, dflt);
+}
+
+inline double point(Kind k) {
+  DecisionSink* s = detail::g_sink.load(std::memory_order_relaxed);
+  return s == nullptr ? 0.0 : s->on_point(k);
+}
+
+// ---- deliberate bug re-introduction (acceptance harness) ----
+//
+// Known, previously fixed interleaving bugs can be switched back on behind
+// the MPNJ_FUZZ_INJECT env var (comma-separated names) so the fuzzer's
+// ability to re-find them is itself testable.  Names:
+//
+//   qlock-park-race     claim_wait parks with a check-then-store instead of
+//                       the phase CAS: a grant landing in the window is lost
+//                       and the grantee sleeps forever (deadlock)
+//   barrier-generation  the barrier flip stamps waiters with the pre-flip
+//                       generation, tripping the waiters' reuse guard
+//
+// The env var is parsed once per process; forked fuzz children re-parse via
+// reparse_injected_bugs() so a driver can toggle injections per execution.
+
+enum class InjectedBug : std::uint32_t {
+  kQlockParkRace = 1u << 0,
+  kBarrierGeneration = 1u << 1,
+};
+
+bool injected(InjectedBug b);
+void reparse_injected_bugs();
+
+}  // namespace mp::fuzz

@@ -1,0 +1,313 @@
+#include "fuzz/scenarios.h"
+
+#include <memory>
+#include <utility>
+
+#include "arch/panic.h"
+#include "cml/cml.h"
+#include "gc/heap.h"
+#include "mp/sim_platform.h"
+#include "threads/scheduler.h"
+#include "threads/sync.h"
+
+namespace mp::fuzz {
+
+namespace {
+
+using threads::Barrier;
+using threads::CountdownLatch;
+using threads::Mutex;
+using threads::Scheduler;
+
+SimPlatformConfig base_config(const ScenarioOpts& o) {
+  SimPlatformConfig cfg;
+  cfg.machine = sim::sequent_s81(o.procs);
+  cfg.machine.seed = o.seed;
+  cfg.heap.parallel_gc = o.parallel_gc;
+  return cfg;
+}
+
+threads::SchedulerConfig sched_config(const ScenarioOpts& o) {
+  threads::SchedulerConfig cfg;
+  if (o.queue == "ws" || o.queue == "work-stealing") {
+    cfg.queue = std::make_unique<threads::WorkStealingQueue>();
+  } else if (o.queue == "distributed") {
+    cfg.queue = std::make_unique<threads::DistributedQueue>();
+  } else {
+    arch::panic("fuzz scenario: unknown queue discipline '%s'",
+                o.queue.c_str());
+  }
+  // Preemption keeps every proc passing through the dispatcher, which is
+  // where most of the interesting decision points live.  The quantum must
+  // stay well above the dispatcher's own cost (a distributed-queue steal
+  // sweep is ~40-130us of lock traffic at 4 MIPS) or every resumed thread
+  // re-preempts before doing any work and the run degenerates into a
+  // preempt storm.
+  cfg.preempt_interval_us = 250;
+  return cfg;
+}
+
+// ---- cml-ring ----
+//
+// The committed-lock CML protocol under load: tokens circulate a ring of
+// rendezvous channels (every hop is a two-party commit), while a producer
+// pair feeds a select_receive consumer (multi-offer commit, the protocol's
+// hard case).  Checksum folds the token values deposited after their final
+// lap with the select consumer's ledger.
+
+ExecResult run_cml_ring(const ScenarioOpts& o) {
+  SimPlatform platform(base_config(o));
+  constexpr int kStations = 4;
+  constexpr int kTokens = 3;
+  const int laps = 4 * o.scale;
+  const int noise = 24 * o.scale;
+
+  long deposits = 0;
+  long ledger = 0;
+  Scheduler::run(platform, sched_config(o), [&](Scheduler& s) {
+    std::vector<std::unique_ptr<cml::Channel<long>>> ring;
+    for (int i = 0; i < kStations; i++) {
+      ring.push_back(std::make_unique<cml::Channel<long>>(s));
+    }
+    CountdownLatch done(s, kStations + 2);
+
+    // Token format: value in the high bits, hops remaining in the low 16.
+    for (int i = 0; i < kStations; i++) {
+      s.fork([&, i] {
+        for (int h = 0; h < laps * kTokens; h++) {
+          const long packed = ring[i]->recv();
+          long hops = packed & 0xffff;
+          long val = (packed >> 16) + i + 1;
+          hops--;
+          if (hops == 0) {
+            deposits += val;  // only station kStations-1 ever gets here
+          } else {
+            ring[(i + 1) % kStations]->send((val << 16) | hops);
+          }
+        }
+        done.count_down();
+      });
+    }
+
+    std::vector<std::unique_ptr<cml::Channel<long>>> side;
+    side.push_back(std::make_unique<cml::Channel<long>>(s));
+    side.push_back(std::make_unique<cml::Channel<long>>(s));
+    std::vector<cml::Channel<long>*> side_ptrs = {side[0].get(),
+                                                  side[1].get()};
+    s.fork([&] {
+      for (int j = 0; j < noise; j++) side[j % 2]->send(1000 + j);
+      done.count_down();
+    });
+    s.fork([&] {
+      for (int j = 0; j < noise; j++) {
+        ledger += cml::select_receive<long>(side_ptrs);
+      }
+      done.count_down();
+    });
+
+    // Inject the tokens (each send is itself a rendezvous with station 0).
+    const long hops = static_cast<long>(laps) * kStations;
+    for (int t = 0; t < kTokens; t++) {
+      ring[0]->send((static_cast<long>(t + 1) << 16) | hops);
+    }
+    done.await();
+  });
+
+  ExecResult r;
+  r.checksum = static_cast<std::uint64_t>(deposits) * 31 +
+               static_cast<std::uint64_t>(ledger);
+  r.virtual_us = platform.report().total_us;
+  return r;
+}
+
+// ---- qlock-storm ----
+//
+// The PR-6 queue-lock claim/grant/park protocol: more threads than procs
+// hammer one mutex in short critical sections (with occasional yields while
+// holding, so waiters exhaust their spin and park), punctuated by barrier
+// episodes that exercise the generation-tagged flip.  This is the scenario
+// that re-finds the injected qlock-park-race and barrier-generation bugs.
+
+ExecResult run_qlock_storm(const ScenarioOpts& o) {
+  SimPlatform platform(base_config(o));
+  const int threads = o.procs * 2 < 4 ? 4 : o.procs * 2;
+  const int episodes = 3 * o.scale;
+  constexpr int kInner = 10;
+
+  long counter = 0;
+  Scheduler::run(platform, sched_config(o), [&](Scheduler& s) {
+    Mutex m(s);
+    Barrier bar(s, threads);
+    CountdownLatch done(s, threads);
+    for (int t = 0; t < threads; t++) {
+      s.fork([&, t] {
+        for (int e = 0; e < episodes; e++) {
+          for (int k = 0; k < kInner; k++) {
+            m.lock();
+            counter += t * 131 + e * 17 + k;
+            if ((t + k) % 5 == 0) s.yield();  // hold across a reschedule
+            m.unlock();
+            if ((t + k) % 3 == 0) s.yield();
+          }
+          bar.arrive_and_wait();
+        }
+        done.count_down();
+      });
+    }
+    done.await();
+  });
+
+  ExecResult r;
+  r.checksum = static_cast<std::uint64_t>(counter);
+  r.virtual_us = platform.report().total_us;
+  return r;
+}
+
+// ---- wake-storm ----
+//
+// The PR-5 targeted wakeup protocol: waves of short tasks separated by full
+// joins, with staggered timer sleeps inside each wave.  Between waves every
+// proc drains, goes idle and parks; the next wave's forks must find and
+// wake them (wake_one), and the sleeps route wakeups through the timer
+// path.  A lost wakeup deadlocks the join.
+
+ExecResult run_wake_storm(const ScenarioOpts& o) {
+  SimPlatform platform(base_config(o));
+  const int waves = 4 * o.scale;
+  const int fan = o.procs * 3;
+
+  std::vector<long> acc(static_cast<std::size_t>(fan), 0);
+  Scheduler::run(platform, sched_config(o), [&](Scheduler& s) {
+    for (int w = 0; w < waves; w++) {
+      CountdownLatch latch(s, fan);
+      for (int i = 0; i < fan; i++) {
+        s.fork([&, w, i] {
+          if ((w + i) % 2 == 0) s.yield();
+          s.sleep_for(static_cast<double>((i % 7) * 3 + 1));
+          acc[static_cast<std::size_t>(i)] += w * 1000 + i;
+          latch.count_down();
+        });
+      }
+      latch.await();
+    }
+  });
+
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < acc.size(); i++) {
+    sum += static_cast<std::uint64_t>(acc[i]) * (i + 1);
+  }
+  ExecResult r;
+  r.checksum = sum;
+  r.virtual_us = platform.report().total_us;
+  return r;
+}
+
+// ---- gc-churn ----
+//
+// The parallel copier under allocation pressure: each thread grows a cons
+// list in a tiny nursery (collections every few hundred allocations),
+// periodically dropping its list to make garbage, while all threads mutate
+// a shared old array under a mutex (write-barrier traffic and cross-thread
+// pointers).  Checksum traverses the surviving structures, so an object the
+// copier loses or mis-links changes the answer even without a panic.
+
+ExecResult run_gc_churn(const ScenarioOpts& o) {
+  SimPlatformConfig cfg = base_config(o);
+  cfg.heap.nursery_bytes = 32 * 1024;
+  cfg.heap.old_bytes = 16u << 20;
+  SimPlatform platform(cfg);
+  const int threads = o.procs < 2 ? 2 : o.procs;
+  const int steps = 220 * o.scale;
+
+  std::vector<long> sums(static_cast<std::size_t>(threads), 0);
+  std::uint64_t shared_sum = 0;
+  Scheduler::run(platform, sched_config(o), [&](Scheduler& s) {
+    auto& h = platform.heap();
+    Mutex m(s);
+    CountdownLatch done(s, threads);
+    gc::GlobalRoot shared(
+        s.platform().heap(),
+        h.alloc_array(static_cast<std::size_t>(threads) + 1,
+                      gc::Value::from_int(0)));
+    for (int t = 0; t < threads; t++) {
+      s.fork([&, t] {
+        gc::GlobalRoot list(h, gc::Value::nil());
+        for (int i = 0; i < steps; i++) {
+          const long id = t * 1000000L + i;
+          list = gc::GlobalRoot(
+              h, h.alloc_record({gc::Value::from_int(id), list.get()}));
+          if (i % 64 == 63) list = gc::GlobalRoot(h, gc::Value::nil());
+          if (i % 13 == 0) {
+            m.lock();
+            h.store(shared.get(), static_cast<std::size_t>(t) + 1,
+                    gc::Value::from_int(id));
+            m.unlock();
+          }
+          if (i % 17 == 0) s.yield();
+        }
+        long sum = 0;
+        gc::Value v = list.get();
+        while (v.is_ptr()) {
+          sum += v.field(0).as_int();
+          v = v.field(1);
+        }
+        sums[static_cast<std::size_t>(t)] = sum;
+        done.count_down();
+      });
+    }
+    done.await();
+    for (int t = 0; t < threads; t++) {
+      shared_sum = shared_sum * 1099511628211ull +
+                   static_cast<std::uint64_t>(
+                       shared.get()
+                           .field(static_cast<std::size_t>(t) + 1)
+                           .as_int());
+    }
+  });
+
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < sums.size(); i++) {
+    sum += static_cast<std::uint64_t>(sums[i]) * (i + 1);
+  }
+  ExecResult r;
+  r.checksum = sum ^ shared_sum;
+  r.virtual_us = platform.report().total_us;
+  return r;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> kScenarios = {
+      {"cml-ring",
+       "rendezvous ring + select consumer (committed-lock CML protocol)",
+       &run_cml_ring},
+      {"qlock-storm",
+       "contended mutex + barrier episodes (qlock claim/grant/park)",
+       &run_qlock_storm},
+      {"wake-storm",
+       "fork/join waves with timer sleeps (park/unpark wake protocol)",
+       &run_wake_storm},
+      {"gc-churn",
+       "multi-thread allocation churn in a tiny nursery (parallel copier)",
+       &run_gc_churn},
+  };
+  return kScenarios;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : scenarios()) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+BodyFn scenario_body(std::string name, ScenarioOpts opts) {
+  return [name = std::move(name), opts]() -> ExecResult {
+    const Scenario* s = find_scenario(name);
+    if (s == nullptr) arch::panic("unknown fuzz scenario '%s'", name.c_str());
+    return s->fn(opts);
+  };
+}
+
+}  // namespace mp::fuzz

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/snapshot.h"
+
+// The workloads the schedule fuzzer points at: small, fully deterministic
+// simulator runs, each built to keep one of the runtime's racy protocols
+// under continuous load so that perturbing decision points perturbs that
+// protocol.  Every scenario returns a checksum over its computation so a
+// silently-wrong schedule (lost message, double wakeup, mis-copied object)
+// is observable even when nothing panics.
+
+namespace mp::fuzz {
+
+struct ScenarioOpts {
+  std::uint64_t seed = 0x5eed;  // machine model rng seed
+  int procs = 4;
+  std::string queue = "ws";  // ws | distributed
+  bool parallel_gc = true;
+  int scale = 1;  // workload size multiplier
+};
+
+using ScenarioFn = ExecResult (*)(const ScenarioOpts&);
+
+struct Scenario {
+  const char* name;
+  const char* description;
+  ScenarioFn fn;
+};
+
+// All registered scenarios, in a stable order.
+const std::vector<Scenario>& scenarios();
+// nullptr when unknown.
+const Scenario* find_scenario(const std::string& name);
+
+// Convenience: a BodyFn for Executor that runs the named scenario
+// (panics on an unknown name — resolve with find_scenario first when the
+// name is user input).
+BodyFn scenario_body(std::string name, ScenarioOpts opts);
+
+}  // namespace mp::fuzz

@@ -1,0 +1,563 @@
+#include "fuzz/snapshot.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "arch/panic.h"
+
+namespace mp::fuzz {
+
+namespace {
+
+// Exit code an execution child uses after successfully shipping a result
+// record up the pipe.  Any other exit is a crash the reaper synthesizes a
+// record for.
+constexpr int kExitRecorded = 42;
+
+// Per-child-process context the panic handler needs.  Only ever touched in
+// forked children (and only after fork, before any platform procs exist),
+// so plain globals are fine.
+struct ChildCtx {
+  TraceRecorder* rec = nullptr;
+  int res_fd = -1;
+  bool want_trace = false;
+};
+ChildCtx g_child;
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// Blocking exact read; used on the server side where the parent controls
+// the lifecycle.  Returns false on EOF or error.
+bool read_exact_blocking(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+// Parent-side reader with a wall-clock deadline and an optional child pid
+// whose death arms a short grace period (data written before death is still
+// readable from the pipe; after the grace there is nothing left to wait
+// for).  The parent keeps its own copy of the pipe's write end open, so EOF
+// never signals child exit — waitpid does.
+struct DeadlineReader {
+  int fd;
+  std::chrono::steady_clock::time_point deadline;
+  pid_t watch = -1;
+  bool child_died = false;
+  int child_status = 0;
+  bool timed_out = false;
+
+  bool read_exact(void* buf, std::size_t n) {
+    char* p = static_cast<char*>(buf);
+    auto grace = std::chrono::steady_clock::time_point::max();
+    while (n > 0) {
+      struct pollfd pfd {};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int pr = ::poll(&pfd, 1, 50);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (pr > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0) {
+        const ssize_t r = ::read(fd, p, n);
+        if (r > 0) {
+          p += r;
+          n -= static_cast<std::size_t>(r);
+          continue;
+        }
+        if (r < 0 && errno == EINTR) continue;
+        return false;  // EOF or hard error
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (!child_died && watch > 0) {
+        int st = 0;
+        if (::waitpid(watch, &st, WNOHANG) == watch) {
+          child_died = true;
+          child_status = st;
+          grace = now + std::chrono::milliseconds(500);
+        }
+      }
+      if (now >= deadline) {
+        timed_out = true;
+        return false;
+      }
+      if (now >= grace) return false;
+    }
+    return true;
+  }
+};
+
+// ---- wire records ----
+//
+// cmd pipe, parent -> server:   u8 want_trace, u32 n, n x WireMut
+// res pipe, children -> parent: 'Y'  server parked at the snapshot point
+//                               'T'  u64 count, count x Decision
+//                               'R'  u8 status, u64 checksum, f64 virtual_us,
+//                                    u64 decisions, u32 len, len msg bytes
+//
+// Both ends are the same forked binary, so raw struct bytes are a valid
+// encoding.  Writers are serialized (one execution in flight at a time), so
+// records never interleave.
+
+struct WireMut {
+  std::uint64_t index = 0;
+  std::uint8_t has_pick = 0;
+  std::uint64_t pick = 0;
+  double jitter_us = 0;
+};
+
+bool send_request(int fd, const std::vector<Mutation>& muts, bool want_trace) {
+  const std::uint8_t wt = want_trace ? 1 : 0;
+  const std::uint32_t n = static_cast<std::uint32_t>(muts.size());
+  if (!write_all(fd, &wt, 1) || !write_all(fd, &n, sizeof n)) return false;
+  for (const Mutation& m : muts) {
+    WireMut w;
+    w.index = m.index;
+    w.has_pick = m.has_pick ? 1 : 0;
+    w.pick = m.pick;
+    w.jitter_us = m.jitter_us;
+    if (!write_all(fd, &w, sizeof w)) return false;
+  }
+  return true;
+}
+
+void send_result(int fd, const RunResult& r) {
+  const char tag = 'R';
+  const std::uint8_t st = static_cast<std::uint8_t>(r.status);
+  const std::uint32_t len = static_cast<std::uint32_t>(r.message.size());
+  write_all(fd, &tag, 1);
+  write_all(fd, &st, 1);
+  write_all(fd, &r.checksum, sizeof r.checksum);
+  write_all(fd, &r.virtual_us, sizeof r.virtual_us);
+  write_all(fd, &r.decisions, sizeof r.decisions);
+  write_all(fd, &len, sizeof len);
+  if (len > 0) write_all(fd, r.message.data(), len);
+}
+
+void send_trace(int fd, const ScheduleTrace& t) {
+  const char tag = 'T';
+  const std::uint64_t n = t.decisions.size();
+  write_all(fd, &tag, 1);
+  write_all(fd, &n, sizeof n);
+  if (n > 0) write_all(fd, t.decisions.data(), n * sizeof(Decision));
+}
+
+bool read_result_body(DeadlineReader& rd, RunResult* r) {
+  std::uint8_t st = 0;
+  std::uint32_t len = 0;
+  if (!rd.read_exact(&st, 1)) return false;
+  if (!rd.read_exact(&r->checksum, sizeof r->checksum)) return false;
+  if (!rd.read_exact(&r->virtual_us, sizeof r->virtual_us)) return false;
+  if (!rd.read_exact(&r->decisions, sizeof r->decisions)) return false;
+  if (!rd.read_exact(&len, sizeof len) || len > (1u << 20)) return false;
+  r->message.resize(len);
+  if (len > 0 && !rd.read_exact(&r->message[0], len)) return false;
+  if (st > static_cast<std::uint8_t>(RunResult::Status::kCrash)) return false;
+  r->status = static_cast<RunResult::Status>(st);
+  return true;
+}
+
+// Installed via arch::set_panic_handler in every execution child: classify
+// the failure, ship it up the result pipe, and die with the recorded exit
+// code so the reaper knows a record was written.
+void panic_to_pipe(const char* msg, void* /*arg*/) {
+  if (g_child.res_fd < 0) return;  // not a fuzz child: fall through to abort
+  RunResult r;
+  r.message = msg != nullptr ? msg : "";
+  r.decisions = g_child.rec != nullptr ? g_child.rec->cursor() : 0;
+  if (r.message.find("decision budget exceeded") != std::string::npos) {
+    r.status = RunResult::Status::kHang;
+  } else if (r.message.find("simulated deadlock") != std::string::npos) {
+    r.status = RunResult::Status::kDeadlock;
+  } else {
+    r.status = RunResult::Status::kPanic;
+  }
+  if (g_child.want_trace && g_child.rec != nullptr) {
+    send_trace(g_child.res_fd, g_child.rec->trace());
+  }
+  send_result(g_child.res_fd, r);
+  ::_exit(kExitRecorded);
+}
+
+// Drop anything buffered in a pipe (used after killing a writer mid-record
+// so the next execution starts from a clean stream).
+void drain_fd(int fd) {
+  char buf[4096];
+  for (;;) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, 0) <= 0 || (pfd.revents & POLLIN) == 0) return;
+    if (::read(fd, buf, sizeof buf) <= 0) return;
+  }
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+const char* status_name(RunResult::Status s) {
+  switch (s) {
+    case RunResult::Status::kOk: return "ok";
+    case RunResult::Status::kPanic: return "panic";
+    case RunResult::Status::kDeadlock: return "deadlock";
+    case RunResult::Status::kHang: return "hang";
+    case RunResult::Status::kCrash: return "crash";
+  }
+  return "?";
+}
+
+std::string RunResult::signature() const {
+  std::string s = status_name(status);
+  if (!message.empty()) {
+    s += " ";
+    s += message;
+  }
+  return s;
+}
+
+Executor::Executor(BodyFn body, ExecutorOptions opt)
+    : body_(std::move(body)), opt_(opt) {
+  // A dead reader must surface as a failed write, not a process kill.
+  ::signal(SIGPIPE, SIG_IGN);
+  int cmd[2] = {-1, -1};
+  int res[2] = {-1, -1};
+  if (::pipe(cmd) != 0 || ::pipe(res) != 0) {
+    arch::panic("fuzz executor: pipe() failed: %s", std::strerror(errno));
+  }
+  pipes_.cmd_r = cmd[0];
+  pipes_.cmd_w = cmd[1];
+  pipes_.res_r = res[0];
+  pipes_.res_w = res[1];
+}
+
+Executor::~Executor() {
+  shutdown_server();
+  close_fd(pipes_.cmd_r);
+  close_fd(pipes_.cmd_w);
+  close_fd(pipes_.res_r);
+  close_fd(pipes_.res_w);
+}
+
+void Executor::child_main(const std::vector<Mutation>& muts, bool want_trace,
+                          bool as_server) {
+  // Own process group so the parent can kill this child and any
+  // grandchildren with one kill(-pid).
+  ::setpgid(0, 0);
+  ::signal(SIGPIPE, SIG_IGN);
+  close_fd(pipes_.cmd_w);
+  close_fd(pipes_.res_r);
+  if (opt_.mute_child_stderr) {
+    const int nul = ::open("/dev/null", O_WRONLY);
+    if (nul >= 0) {
+      ::dup2(nul, 2);
+      ::close(nul);
+    }
+  }
+  // The driver toggles MPNJ_FUZZ_INJECT between executions; the cached
+  // parse predates this fork.
+  reparse_injected_bugs();
+
+  TraceRecorder rec(muts, opt_.decision_budget, /*record=*/true);
+  g_child.rec = &rec;
+  g_child.res_fd = pipes_.res_w;
+  g_child.want_trace = want_trace;
+
+  if (as_server) {
+    rec.set_checkpoint(opt_.snapshot_at, [this, &rec] {
+      // Parked at the snapshot point, deep inside the running simulation.
+      // Loop: take a request, fork, let the grandchild resume the run with
+      // the mutated suffix, reap it.  The lambda returning IS the restore.
+      const char ready = 'Y';
+      write_all(pipes_.res_w, &ready, 1);
+      for (;;) {
+        std::uint8_t want = 0;
+        std::uint32_t n = 0;
+        if (!read_exact_blocking(pipes_.cmd_r, &want, 1) ||
+            !read_exact_blocking(pipes_.cmd_r, &n, sizeof n) ||
+            n > (1u << 20)) {
+          ::_exit(0);  // parent closed the command pipe: orderly shutdown
+        }
+        std::vector<Mutation> req(n);
+        for (std::uint32_t i = 0; i < n; i++) {
+          WireMut w;
+          if (!read_exact_blocking(pipes_.cmd_r, &w, sizeof w)) ::_exit(0);
+          req[i].index = w.index;
+          req[i].has_pick = w.has_pick != 0;
+          req[i].pick = w.pick;
+          req[i].jitter_us = w.jitter_us;
+        }
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+          g_child.want_trace = want != 0;
+          rec.set_mutations(std::move(req));
+          return;  // resume the simulation in the grandchild
+        }
+        RunResult r;
+        if (pid < 0) {
+          r.status = RunResult::Status::kCrash;
+          r.message = "snapshot server: fork() failed";
+          send_result(pipes_.res_w, r);
+          continue;
+        }
+        int st = 0;
+        while (::waitpid(pid, &st, 0) < 0 && errno == EINTR) {
+        }
+        if (WIFEXITED(st) && WEXITSTATUS(st) == kExitRecorded) continue;
+        // Grandchild died without writing a record: synthesize a crash.
+        char buf[96];
+        if (WIFSIGNALED(st)) {
+          std::snprintf(buf, sizeof buf, "child killed by signal %d",
+                        WTERMSIG(st));
+        } else {
+          std::snprintf(buf, sizeof buf,
+                        "child exited with status %d without a result record",
+                        WIFEXITED(st) ? WEXITSTATUS(st) : -1);
+        }
+        r.status = RunResult::Status::kCrash;
+        r.message = buf;
+        send_result(pipes_.res_w, r);
+      }
+    });
+  }
+
+  arch::set_panic_handler(&panic_to_pipe, nullptr);
+  install_sink(&rec);
+  const ExecResult body = body_();
+  install_sink(nullptr);
+
+  RunResult r;
+  r.status = RunResult::Status::kOk;
+  r.checksum = body.checksum;
+  r.virtual_us = body.virtual_us;
+  r.decisions = rec.cursor();
+  if (g_child.want_trace) send_trace(pipes_.res_w, rec.trace());
+  send_result(pipes_.res_w, r);
+  ::_exit(kExitRecorded);
+}
+
+bool Executor::ensure_server() {
+  if (server_broken_ || pipes_.cmd_w < 0) return false;
+  if (server_pid_ > 0) return true;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    server_broken_ = true;
+    return false;
+  }
+  if (pid == 0) child_main({}, /*want_trace=*/false, /*as_server=*/true);
+  server_pid_ = pid;
+
+  // The server answers with 'Y' once parked, or a full result record if the
+  // deterministic prefix finished (or failed) before the snapshot point.
+  DeadlineReader rd{pipes_.res_r,
+                    std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                opt_.child_timeout_s)),
+                    server_pid_};
+  char tag = 0;
+  if (rd.read_exact(&tag, 1) && tag == 'Y') return true;
+  if (tag == 'R') {
+    RunResult r;
+    if (read_result_body(rd, &r)) {
+      int st = 0;
+      while (::waitpid(server_pid_, &st, 0) < 0 && errno == EINTR) {
+      }
+      server_pid_ = -1;
+      server_broken_ = true;
+      // Mutations a snapshot run would serve all lie at or past the
+      // snapshot point, and this run never got there — so no eligible
+      // mutation can change this outcome.  Serve it for every such run.
+      have_prefix_result_ = true;
+      prefix_result_ = r;
+      return false;
+    }
+  }
+  // Garbled handshake or server death: give up on snapshotting.
+  kill_children();
+  drain_fd(pipes_.res_r);
+  server_broken_ = true;
+  return false;
+}
+
+RunResult Executor::run(const std::vector<Mutation>& muts,
+                        ScheduleTrace* trace_out) {
+  bool eligible = opt_.use_snapshot;
+  for (const Mutation& m : muts) {
+    if (m.index < opt_.snapshot_at) {
+      eligible = false;
+      break;
+    }
+  }
+  if (eligible) {
+    if (ensure_server()) {
+      if (send_request(pipes_.cmd_w, muts, trace_out != nullptr)) {
+        return read_outcome(trace_out, /*direct_child=*/-1);
+      }
+      // The request write failed: the server is gone.  Reap and fall back
+      // to a cold fork for this execution; the next run() rebuilds it.
+      kill_children();
+      drain_fd(pipes_.res_r);
+    } else if (have_prefix_result_ && trace_out == nullptr) {
+      return prefix_result_;
+    }
+  }
+  return cold_run(muts, trace_out != nullptr, trace_out);
+}
+
+RunResult Executor::cold_run(const std::vector<Mutation>& muts,
+                             bool want_trace, ScheduleTrace* trace_out) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    RunResult r;
+    r.status = RunResult::Status::kCrash;
+    r.message = "fuzz executor: fork() failed";
+    return r;
+  }
+  if (pid == 0) child_main(muts, want_trace, /*as_server=*/false);
+  return read_outcome(trace_out, pid);
+}
+
+RunResult Executor::read_outcome(ScheduleTrace* trace_out,
+                                 pid_t direct_child) {
+  const pid_t watch = direct_child >= 0 ? direct_child : server_pid_;
+  DeadlineReader rd{pipes_.res_r,
+                    std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                opt_.child_timeout_s)),
+                    watch};
+  for (;;) {
+    char tag = 0;
+    if (!rd.read_exact(&tag, 1)) break;
+    if (tag == 'T') {
+      std::uint64_t n = 0;
+      if (!rd.read_exact(&n, sizeof n) || n > (1u << 26)) break;
+      std::vector<Decision> ds(n);
+      if (n > 0 && !rd.read_exact(ds.data(), n * sizeof(Decision))) break;
+      if (trace_out != nullptr) trace_out->decisions = std::move(ds);
+      continue;
+    }
+    if (tag == 'R') {
+      RunResult r;
+      if (!read_result_body(rd, &r)) break;
+      if (direct_child >= 0 && !rd.child_died) {
+        int st = 0;
+        while (::waitpid(direct_child, &st, 0) < 0 && errno == EINTR) {
+        }
+      }
+      return r;
+    }
+    break;  // unknown tag: corrupt stream
+  }
+
+  // No complete record arrived: the execution hung past the watchdog, died
+  // mid-write, or garbled the stream.  Kill the writer(s), clean the pipe,
+  // and synthesize an outcome from what the reaper saw.
+  RunResult r;
+  if (direct_child >= 0) {
+    ::kill(-direct_child, SIGKILL);
+    ::kill(direct_child, SIGKILL);
+    if (!rd.child_died) {
+      int st = 0;
+      while (::waitpid(direct_child, &st, 0) < 0 && errno == EINTR) {
+      }
+      rd.child_status = st;
+    }
+  } else {
+    // Server mode: the server reaps crashed grandchildren itself, so
+    // reaching here means the whole group is stuck or the server died.
+    kill_children();
+    drain_fd(pipes_.cmd_r);
+  }
+  drain_fd(pipes_.res_r);
+
+  char buf[96];
+  if (rd.timed_out) {
+    std::snprintf(buf, sizeof buf,
+                  "wall-clock watchdog expired after %.0f s",
+                  opt_.child_timeout_s);
+    r.status = RunResult::Status::kHang;
+  } else if (rd.child_died && WIFSIGNALED(rd.child_status)) {
+    std::snprintf(buf, sizeof buf, "child killed by signal %d",
+                  WTERMSIG(rd.child_status));
+    r.status = RunResult::Status::kCrash;
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "child exited without a complete result record");
+    r.status = RunResult::Status::kCrash;
+  }
+  r.message = buf;
+  return r;
+}
+
+void Executor::kill_children() {
+  if (server_pid_ <= 0) return;
+  ::kill(-server_pid_, SIGKILL);
+  ::kill(server_pid_, SIGKILL);
+  int st = 0;
+  while (::waitpid(server_pid_, &st, 0) < 0 && errno == EINTR) {
+  }
+  server_pid_ = -1;
+}
+
+void Executor::shutdown_server() {
+  if (server_pid_ <= 0) {
+    close_fd(pipes_.cmd_w);
+    return;
+  }
+  // Closing the command pipe is the orderly shutdown: the server's blocking
+  // request read returns EOF and it exits cleanly.
+  close_fd(pipes_.cmd_w);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (std::chrono::steady_clock::now() < deadline) {
+    int st = 0;
+    const pid_t w = ::waitpid(server_pid_, &st, WNOHANG);
+    if (w == server_pid_ || (w < 0 && errno != EINTR)) {
+      server_pid_ = -1;
+      break;
+    }
+    ::usleep(10 * 1000);
+  }
+  kill_children();
+  server_broken_ = true;  // cmd pipe is gone; later runs go cold
+}
+
+}  // namespace mp::fuzz

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "fuzz/trace.h"
+
+// Snapshot/restore of a warmed-up simulator machine, gingersnap-style.
+//
+// A simulator execution's state is the host process: the engine's virtual
+// procs, every fiber stack segment, the ready queues, the steal-trace rng
+// cursors, the timer state, and the heap pages are all ordinary C++ objects
+// and mallocs.  Restoring that object graph in place would mean tracking
+// every allocation; instead the snapshot IS the kernel's copy-on-write page
+// table.  The executor fork()s a server child that boots the scenario and
+// parks at a chosen decision index (the snapshot point, taken inside the
+// TraceRecorder callback — deep inside the running simulation, fiber stacks
+// and all).  Each fuzz execution then fork()s that parked server: the
+// grandchild resumes the run in microseconds with a mutated decision
+// suffix, and only the pages it dirties are copied.  The simulation is
+// single-OS-threaded, so forking mid-run is safe, and a child's address
+// space is byte-identical to its parent's, so a restored run is
+// bit-for-bit the run that would have happened without the snapshot — the
+// round-trip test in tests/schedule_fuzz_test.cpp pins exactly that.
+//
+// Failure plumbing: a panic (MPNJ_CHECK, deadlock detection, decision
+// budget) in an execution child is intercepted by the arch panic handler,
+// shipped up the result pipe, and the child _exit()s; a raw crash (signal)
+// is reaped by the server and reported as kCrash.  The parent never runs a
+// scenario itself, so a fuzz campaign survives anything a schedule does to
+// the runtime.
+
+namespace mp::fuzz {
+
+struct RunResult {
+  enum class Status : std::uint8_t {
+    kOk = 0,
+    kPanic,     // MPNJ_CHECK / arch::panic fired
+    kDeadlock,  // the simulator's all-idle-but-not-done diagnostic
+    kHang,      // decision budget exceeded, or wall-clock watchdog
+    kCrash,     // child died on a signal without reporting
+  };
+  Status status = Status::kOk;
+  std::string message;        // panic message / crash description
+  std::uint64_t checksum = 0; // scenario-reported (kOk only)
+  double virtual_us = 0;      // elapsed virtual time (kOk only)
+  std::uint64_t decisions = 0;
+
+  bool failed() const { return status != Status::kOk; }
+  // Stable failure identity for dedup and shrink equivalence.
+  std::string signature() const;
+};
+
+const char* status_name(RunResult::Status s);
+
+// What a scenario body reports on clean completion.
+struct ExecResult {
+  std::uint64_t checksum = 0;
+  double virtual_us = 0;
+};
+using BodyFn = std::function<ExecResult()>;
+
+struct ExecutorOptions {
+  // Hard cap on decisions per execution; overruns report kHang.
+  std::uint64_t decision_budget = 5'000'000;
+  // Decision index the snapshot server parks at.  0 parks at the first
+  // decision: everything before it (process setup, platform construction,
+  // heap init) is the boot cost every restart now skips.
+  std::uint64_t snapshot_at = 0;
+  // false forces every execution to cold-fork from the parent instead of
+  // the warmed server (the round-trip test compares the two).
+  bool use_snapshot = true;
+  // Wall-clock watchdog per execution; expiry kills the process group.
+  double child_timeout_s = 120;
+  // Redirect execution children's stderr to /dev/null (fuzz campaigns
+  // produce panics by design; the message still arrives via the pipe).
+  bool mute_child_stderr = false;
+};
+
+class Executor {
+ public:
+  Executor(BodyFn body, ExecutorOptions opt);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Execute the scenario under `muts`.  Serves from the warmed snapshot
+  // when every mutation index is at or past the snapshot point; cold-forks
+  // otherwise.  With `trace_out`, the run also ships back its recorded
+  // decision stream (kinds + arities), which the driver uses to target
+  // mutations at interesting decision kinds.
+  RunResult run(const std::vector<Mutation>& muts,
+                ScheduleTrace* trace_out = nullptr);
+
+  // Tear down the snapshot server (also done by the destructor).
+  void shutdown_server();
+
+ private:
+  struct Pipes {
+    int cmd_r = -1, cmd_w = -1;  // parent -> server requests
+    int res_r = -1, res_w = -1;  // children -> parent records
+  };
+
+  bool ensure_server();
+  RunResult cold_run(const std::vector<Mutation>& muts, bool want_trace,
+                     ScheduleTrace* trace_out);
+  RunResult read_outcome(ScheduleTrace* trace_out, pid_t direct_child);
+  [[noreturn]] void child_main(const std::vector<Mutation>& muts,
+                               bool want_trace, bool as_server);
+  void kill_children();
+
+  BodyFn body_;
+  ExecutorOptions opt_;
+  Pipes pipes_;
+  pid_t server_pid_ = -1;
+  bool server_broken_ = false;
+  // Set when the server failed before reaching the snapshot point (the
+  // deterministic prefix itself fails); every snapshot-eligible run then
+  // returns this same result.
+  bool have_prefix_result_ = false;
+  RunResult prefix_result_;
+};
+
+}  // namespace mp::fuzz

@@ -1,0 +1,201 @@
+#include "fuzz/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "arch/panic.h"
+
+namespace mp::fuzz {
+
+// ----- ScheduleTrace -----
+
+std::string ScheduleTrace::summary() const {
+  std::uint64_t counts[static_cast<int>(Kind::kKindCount)] = {};
+  for (const Decision& d : decisions) counts[static_cast<int>(d.kind)]++;
+  std::ostringstream out;
+  out << decisions.size() << " decisions";
+  for (int k = 0; k < static_cast<int>(Kind::kKindCount); k++) {
+    if (counts[k] == 0) continue;
+    out << " " << kind_name(static_cast<Kind>(k)) << ":" << counts[k];
+  }
+  return out.str();
+}
+
+void sort_mutations(std::vector<Mutation>& muts) {
+  std::sort(muts.begin(), muts.end(),
+            [](const Mutation& a, const Mutation& b) {
+              return a.index < b.index;
+            });
+}
+
+// ----- TraceRecorder -----
+
+TraceRecorder::TraceRecorder(std::vector<Mutation> mutations,
+                             std::uint64_t budget, bool record)
+    : mutations_(std::move(mutations)), budget_(budget), record_(record) {
+  sort_mutations(mutations_);
+}
+
+void TraceRecorder::set_checkpoint(std::uint64_t index,
+                                   std::function<void()> fn) {
+  checkpoint_at_ = index;
+  checkpoint_ = std::move(fn);
+}
+
+void TraceRecorder::set_mutations(std::vector<Mutation> mutations) {
+  mutations_ = std::move(mutations);
+  sort_mutations(mutations_);
+  next_mut_ = 0;
+  while (next_mut_ < mutations_.size() &&
+         mutations_[next_mut_].index < cursor_) {
+    next_mut_++;
+  }
+}
+
+const Mutation* TraceRecorder::mutation_at(std::uint64_t index) {
+  while (next_mut_ < mutations_.size() &&
+         mutations_[next_mut_].index < index) {
+    next_mut_++;
+  }
+  if (next_mut_ < mutations_.size() && mutations_[next_mut_].index == index) {
+    return &mutations_[next_mut_];
+  }
+  return nullptr;
+}
+
+std::uint64_t TraceRecorder::advance(Kind k) {
+  (void)k;
+  // The checkpoint fires before the decision it is indexed at executes, so
+  // a mutation at exactly `checkpoint_at_` still applies in the forked
+  // continuation (set_mutations keeps entries at index >= cursor_).
+  if (cursor_ == checkpoint_at_ && checkpoint_) checkpoint_();
+  if (budget_ != 0 && cursor_ >= budget_) {
+    // Checked before the decision executes, so a budget of N means exactly
+    // N decisions ran — the overrun report is exact, not off by one.
+    arch::panic(
+        "schedule fuzz: decision budget exceeded (%" PRIu64
+        " decisions; possible livelock or runaway schedule)",
+        budget_);
+  }
+  return cursor_++;
+}
+
+std::uint64_t TraceRecorder::on_pick(Kind k, std::uint64_t arity,
+                                     std::uint64_t dflt) {
+  const std::uint64_t idx = advance(k);
+  std::uint64_t chosen = dflt;
+  if (const Mutation* m = mutation_at(idx); m != nullptr && m->has_pick) {
+    chosen = arity > 0 ? m->pick % arity : 0;
+  }
+  if (record_) {
+    trace_.decisions.push_back(Decision{k, static_cast<std::uint32_t>(arity),
+                                        static_cast<std::uint32_t>(chosen)});
+  }
+  return chosen;
+}
+
+double TraceRecorder::on_point(Kind k) {
+  const std::uint64_t idx = advance(k);
+  double jitter = 0;
+  if (const Mutation* m = mutation_at(idx); m != nullptr) {
+    jitter = m->jitter_us > 0 ? m->jitter_us : 0;
+  }
+  if (record_) trace_.decisions.push_back(Decision{k, 0, 0});
+  return jitter;
+}
+
+// ----- seed files -----
+
+std::string format_seed_file(const SeedFile& s) {
+  std::ostringstream out;
+  out << "mpnj-schedule-fuzz v1\n";
+  out << "scenario " << s.scenario << "\n";
+  out << "seed " << s.seed << "\n";
+  out << "procs " << s.procs << "\n";
+  out << "queue " << s.queue << "\n";
+  out << "parallel-gc " << (s.parallel_gc ? 1 : 0) << "\n";
+  out << "decision-budget " << s.decision_budget << "\n";
+  for (const Mutation& m : s.mutations) {
+    if (m.has_pick) {
+      out << "mutate " << m.index << " pick " << m.pick << "\n";
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", m.jitter_us);
+      out << "mutate " << m.index << " jitter " << buf << "\n";
+    }
+  }
+  if (!s.signature.empty()) out << "signature " << s.signature << "\n";
+  return out.str();
+}
+
+bool parse_seed_file(const std::string& text, SeedFile* out,
+                     std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "mpnj-schedule-fuzz v1") {
+    if (error) *error = "missing 'mpnj-schedule-fuzz v1' header";
+    return false;
+  }
+  *out = SeedFile{};
+  out->mutations.clear();
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    lineno++;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    auto fail = [&](const char* why) {
+      if (error) {
+        *error = "line " + std::to_string(lineno) + ": " + why;
+      }
+      return false;
+    };
+    if (key == "scenario") {
+      if (!(ls >> out->scenario)) return fail("scenario name expected");
+    } else if (key == "seed") {
+      if (!(ls >> out->seed)) return fail("seed value expected");
+    } else if (key == "procs") {
+      if (!(ls >> out->procs)) return fail("proc count expected");
+    } else if (key == "queue") {
+      if (!(ls >> out->queue)) return fail("queue discipline expected");
+    } else if (key == "parallel-gc") {
+      int v = 0;
+      if (!(ls >> v)) return fail("0/1 expected");
+      out->parallel_gc = v != 0;
+    } else if (key == "decision-budget") {
+      if (!(ls >> out->decision_budget)) return fail("budget expected");
+    } else if (key == "mutate") {
+      Mutation m;
+      std::string op;
+      if (!(ls >> m.index >> op)) return fail("mutate <index> <op> expected");
+      if (op == "pick") {
+        m.has_pick = true;
+        if (!(ls >> m.pick)) return fail("pick value expected");
+      } else if (op == "jitter") {
+        if (!(ls >> m.jitter_us)) return fail("jitter value expected");
+      } else {
+        return fail("unknown mutate op");
+      }
+      out->mutations.push_back(m);
+    } else if (key == "signature") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+      out->signature = rest;
+    } else {
+      return fail("unknown key");
+    }
+  }
+  if (out->scenario.empty()) {
+    if (error) *error = "missing scenario line";
+    return false;
+  }
+  sort_mutations(out->mutations);
+  return true;
+}
+
+}  // namespace mp::fuzz

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/hooks.h"
+
+// The recorded schedule of one simulator execution, and the mutations the
+// fuzzer applies to it.
+//
+// A simulator run is a pure function of (machine model, seed, client
+// program), so the sequence of decision points it passes — every pick() and
+// point() in fuzz/hooks.h — is itself deterministic.  The TraceRecorder
+// sink numbers those points 0,1,2,... as they occur and records each one's
+// kind, arity and outcome; that numbered stream is the ScheduleTrace.  A
+// Mutation addresses a decision by index and either overrides a discrete
+// choice (pick sites) or injects virtual-time jitter (cost sites).  Jitter
+// is the universal perturbation: delaying one proc at one decision slides
+// every later event on that proc against the other procs' clocks, which is
+// exactly an interleaving change — but one the simulator's cost model stays
+// consistent under, so a mutated run is still a valid execution and still
+// bit-reproducible from (seed, mutation list).
+
+namespace mp::fuzz {
+
+struct Decision {
+  Kind kind;
+  std::uint32_t arity;   // pick sites: the choice bound; cost sites: 0
+  std::uint32_t chosen;  // pick sites: the outcome taken
+};
+
+struct Mutation {
+  std::uint64_t index = 0;  // decision number the mutation applies to
+  bool has_pick = false;
+  std::uint64_t pick = 0;   // applied modulo the site's arity
+  double jitter_us = 0;     // cost sites: virtual time injected
+};
+
+struct ScheduleTrace {
+  std::vector<Decision> decisions;
+  std::uint64_t count() const { return decisions.size(); }
+  // "kind:count" histogram, for logs and seed-file comments.
+  std::string summary() const;
+};
+
+// The DecisionSink the executor installs around a run: applies mutations,
+// optionally records the stream, enforces the decision budget (a mutated
+// schedule that livelocks keeps passing lock/CAS decision points, so a
+// budget overrun is the deterministic analogue of a watchdog), and fires an
+// optional callback at a chosen index (the snapshot point).
+class TraceRecorder final : public DecisionSink {
+ public:
+  TraceRecorder(std::vector<Mutation> mutations, std::uint64_t budget,
+                bool record);
+
+  // Fired the first time the cursor reaches `index` (before that decision
+  // executes).  The fork-snapshot server parks here.
+  void set_checkpoint(std::uint64_t index, std::function<void()> fn);
+  // Replaces the mutation list mid-run (the snapshot server applies a
+  // request's suffix after forking).  Mutations below the cursor are inert.
+  void set_mutations(std::vector<Mutation> mutations);
+
+  std::uint64_t cursor() const { return cursor_; }
+  const ScheduleTrace& trace() const { return trace_; }
+
+  std::uint64_t on_pick(Kind k, std::uint64_t arity,
+                        std::uint64_t dflt) override;
+  double on_point(Kind k) override;
+
+ private:
+  const Mutation* mutation_at(std::uint64_t index);
+  std::uint64_t advance(Kind k);
+
+  std::vector<Mutation> mutations_;  // sorted by index
+  std::size_t next_mut_ = 0;
+  std::uint64_t budget_;
+  bool record_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t checkpoint_at_ = ~0ull;
+  std::function<void()> checkpoint_;
+  ScheduleTrace trace_;
+};
+
+// ---- seed files ----
+//
+// The replayable artifact a failing run leaves behind: scenario identity,
+// scenario options, the (shrunk) mutation list, and the failure signature.
+// Plain line-oriented text so a CI artifact can be read, diffed, and
+// replayed locally (fuzz_driver --replay <file>).
+
+struct SeedFile {
+  std::string scenario;
+  std::uint64_t seed = 0x5eed;
+  int procs = 4;
+  std::string queue = "ws";      // ws | distributed
+  bool parallel_gc = true;
+  std::uint64_t decision_budget = 0;  // 0 = executor default
+  std::vector<Mutation> mutations;
+  std::string signature;  // "<status> <panic message>" of the failure
+};
+
+std::string format_seed_file(const SeedFile& s);
+// Returns false and fills *error on a malformed file.
+bool parse_seed_file(const std::string& text, SeedFile* out,
+                     std::string* error);
+
+void sort_mutations(std::vector<Mutation>& muts);
+
+}  // namespace mp::fuzz

@@ -9,6 +9,7 @@
 
 #include "arch/tas.h"
 #include "cont/cont.h"
+#include "fuzz/hooks.h"
 #include "gc/object_layout.h"
 #include "metrics/metrics.h"
 
@@ -200,7 +201,13 @@ std::uint64_t* Heap::alloc_raw(ObjKind kind, std::size_t field_words,
   } else {
     while (ph.limit == nullptr ||
            static_cast<std::size_t>(ph.limit - ph.alloc) < words) {
-      if (!grab_chunk(ph)) run_gc_cycle(false, rooted_args);
+      // Fuzz choice point: 1 forces a collection on this refill even though
+      // free chunks remain, sliding GC cycles across the other procs'
+      // allocation and synchronization histories.
+      if (fuzz::pick(fuzz::Kind::kGcTrigger, 2, 0) == 1 ||
+          !grab_chunk(ph)) {
+        run_gc_cycle(false, rooted_args);
+      }
     }
     obj = ph.alloc;
     ph.alloc += words;

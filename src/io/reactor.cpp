@@ -4,6 +4,8 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include "fuzz/hooks.h"
+
 #include <algorithm>
 #include <cerrno>
 #include <cstdint>
@@ -262,9 +264,16 @@ int Reactor::collect_poll(double timeout_us, std::vector<Ready>& out) {
 
 int Reactor::fire_ready(const std::vector<Ready>& ready) {
   if (ready.empty()) return 0;
+  // Fuzz choice point: the rotation applied to the ready batch.  The OS
+  // (or the sim's virtual ports) hands events in an arbitrary order, so
+  // permuting the dispatch order explores schedules the kernel could have
+  // produced.
+  const std::size_t rot =
+      fuzz::pick(fuzz::Kind::kIoOrder, ready.size(), 0);
   std::vector<std::function<void()>> fires;
   plat_.lock(lock_);
-  for (const Ready& r : ready) {
+  for (std::size_t i = 0; i < ready.size(); i++) {
+    const Ready& r = ready[(i + rot) % ready.size()];
     auto it = fds_.find(r.fd);
     if (it == fds_.end()) continue;  // raced with forget_fd
     FdEntry& e = it->second;

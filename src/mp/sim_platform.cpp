@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "arch/panic.h"
+#include "fuzz/hooks.h"
 #include "metrics/metrics.h"
 
 namespace mp {
@@ -16,6 +17,18 @@ struct SimLockCell final : detail::LockCell {
 SimLockCell& cell_of(const MutexLock& l) {
   MPNJ_CHECK(l.valid(), "operation on an invalid MutexLock");
   return *static_cast<SimLockCell*>(l.cell());
+}
+
+// Schedule-fuzzer cost point: inject the sink's virtual-time jitter before
+// the operation.  Each charge is an engine scheduling point, so delaying
+// this proc here slides it across the other procs' histories — an
+// interleaving perturbation the cost model stays consistent under.  With
+// no sink installed this is one relaxed load.
+inline void fuzz_jitter(sim::Engine& eng, fuzz::Kind k) {
+  if (fuzz::installed_sink() == nullptr) return;
+  if (eng.current() < 0) return;
+  const double j = fuzz::point(k);
+  if (j > 0) eng.charge_us(j);
 }
 
 }  // namespace
@@ -52,7 +65,8 @@ void SimPlatform::proc_main(int id) {
     cont::ContRef k = std::move(p.mailbox);
     p.active = true;
     if (cfg_.preempt_interval_us > 0) {
-      engine_->arm_hook(id, engine_->now() + cfg_.preempt_interval_us);
+      engine_->arm_hook(id, engine_->now() + cfg_.preempt_interval_us +
+                                fuzz::point(fuzz::Kind::kPreemptArm));
     }
     arch::Context idle_ctx;
     p.exec.idle_ctx = &idle_ctx;
@@ -144,9 +158,13 @@ bool SimPlatform::raw_try_lock(const MutexLock& l) {
 // that suspends the thread (the preemption yield) must never run while the
 // client is inside a spin-lock critical section, or the parked holder
 // deadlocks every spinner.  Signals are delivered at work() / safe_point().
-bool SimPlatform::try_lock(const MutexLock& l) { return raw_try_lock(l); }
+bool SimPlatform::try_lock(const MutexLock& l) {
+  fuzz_jitter(*engine_, fuzz::Kind::kLockAcquire);
+  return raw_try_lock(l);
+}
 
 void SimPlatform::lock(const MutexLock& l) {
+  fuzz_jitter(*engine_, fuzz::Kind::kLockAcquire);
   if (raw_try_lock(l)) {
     MPNJ_METRIC_COUNT(kLockAcquires, 1);
     return;
@@ -177,6 +195,7 @@ void SimPlatform::lock(const MutexLock& l) {
 }
 
 void SimPlatform::unlock(const MutexLock& l) {
+  fuzz_jitter(*engine_, fuzz::Kind::kLockRelease);
   SimLockCell& cell = cell_of(l);
   engine_->charge_instr(cfg_.machine.lock_op_instr);
   if (!cfg_.machine.hardware_lock_bus) {
@@ -217,6 +236,7 @@ void SimPlatform::idle_wait(double max_us) {
 }
 
 void SimPlatform::park_proc(double max_us) {
+  fuzz_jitter(*engine_, fuzz::Kind::kPark);
   SimProc& p = static_cast<SimProc&>(self());
   const auto& m = cfg_.machine;
   if (p.unpark_pending) {
@@ -244,6 +264,9 @@ void SimPlatform::park_proc(double max_us) {
 }
 
 void SimPlatform::unpark_proc(int proc_id) {
+  // Jitter lands on the waker, before the kick is posted: the window in
+  // which a lost-wakeup bug loses the wakeup.
+  fuzz_jitter(*engine_, fuzz::Kind::kUnpark);
   procs_[static_cast<std::size_t>(proc_id)]->unpark_pending = true;
   // The kick itself costs the waker an eventfd-write analogue.
   if (engine_->current() >= 0) {
@@ -252,6 +275,7 @@ void SimPlatform::unpark_proc(int proc_id) {
 }
 
 void SimPlatform::charge_cas() {
+  fuzz_jitter(*engine_, fuzz::Kind::kCas);
   engine_->charge_instr(cfg_.machine.cas_instr);
   if (!cfg_.machine.hardware_lock_bus) {
     engine_->bus_transfer(cfg_.machine.tas_bus_bytes);
@@ -259,6 +283,7 @@ void SimPlatform::charge_cas() {
 }
 
 void SimPlatform::charge_lock_handoff() {
+  fuzz_jitter(*engine_, fuzz::Kind::kHandoff);
   engine_->charge_instr(cfg_.machine.lock_handoff_instr);
   if (!cfg_.machine.hardware_lock_bus) {
     engine_->bus_transfer(cfg_.machine.tas_bus_bytes);
@@ -278,7 +303,9 @@ arch::Rng& SimPlatform::rng() { return engine_->rng(engine_->current()); }
 void SimPlatform::set_preempt_interval(double us) {
   cfg_.preempt_interval_us = us;
   if (us > 0 && engine_->current() >= 0) {
-    engine_->arm_hook(engine_->current(), engine_->now() + us);
+    engine_->arm_hook(engine_->current(),
+                      engine_->now() + us +
+                          fuzz::point(fuzz::Kind::kPreemptArm));
   }
 }
 
@@ -291,7 +318,10 @@ void SimPlatform::on_timer(int id) {
   // platform-level safe points (work / lock operations / safe_point), which
   // re-resolve the current proc after the handler returns.
   post_signal_to(p, Sig::kPreempt);
-  engine_->arm_hook(id, engine_->now() + cfg_.preempt_interval_us);
+  // Jittering the re-arm slides every later preemption on this proc, which
+  // moves the signal-delivery points across the thread's critical sections.
+  engine_->arm_hook(id, engine_->now() + cfg_.preempt_interval_us +
+                            fuzz::point(fuzz::Kind::kPreemptArm));
 }
 
 // ----- collector hooks -----
@@ -326,6 +356,7 @@ void SimPlatform::charge_gc(std::uint64_t words_copied) {
 }
 
 void SimPlatform::charge_alloc(std::uint64_t words) {
+  fuzz_jitter(*engine_, fuzz::Kind::kAlloc);
   const auto& m = cfg_.machine;
   const double w = static_cast<double>(words);
   engine_->charge_instr(w * m.alloc_instr_per_word);

@@ -5,6 +5,7 @@
 #include "arch/cacheline.h"
 #include "arch/padded_pool.h"
 #include "arch/panic.h"
+#include "fuzz/hooks.h"
 #include "metrics/metrics.h"
 #include "threads/scheduler.h"
 
@@ -103,6 +104,24 @@ inline void claim_wait(Scheduler& sched, QNode& n) {
   MPNJ_METRIC_COUNT(kLockParkWaits, 1);
   sched.suspend([&](ThreadState t) {
     n.ts = std::move(t);
+    if (fuzz::injected(fuzz::InjectedBug::kQlockParkRace)) {
+      // Deliberately re-introduced pre-PR-6 bug (MPNJ_FUZZ_INJECT): park
+      // with a check-then-store instead of the phase CAS.  The check and
+      // the store are separated only by a fuzz cost point, so on the
+      // simulator the window is closed until the fuzzer injects jitter at
+      // exactly this decision — then the granter's exchange lands inside
+      // it, sees kSpin, assumes the waiter will notice, and moves on; the
+      // store overwrites kGranted with kParked and the waiter sleeps
+      // forever (lost wakeup -> deadlock/hang).
+      if (n.phase.load(std::memory_order_acquire) == QNode::Phase::kSpin) {
+        const double jitter_us = fuzz::point(fuzz::Kind::kCas);
+        if (jitter_us > 0) p.work(jitter_us * 100.0);
+        n.phase.store(QNode::Phase::kParked, std::memory_order_release);
+      } else {
+        sched.reschedule(std::move(n.ts));
+      }
+      return;
+    }
     QNode::Phase expect = QNode::Phase::kSpin;
     p.charge_cas();
     if (!n.phase.compare_exchange_strong(expect, QNode::Phase::kParked,

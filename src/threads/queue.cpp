@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "fuzz/hooks.h"
 #include "metrics/metrics.h"
 #include "threads/queue.h"
 
@@ -145,7 +146,8 @@ std::optional<ThreadState> DistributedQueue::deq(Platform& p) {
   }
   // ...then steal from the tail of a victim, starting at a random proc.
   // The unlocked size peek costs one shared-memory read, not a lock pair.
-  const std::size_t start = p.rng().below(n);
+  const std::size_t start =
+      fuzz::pick(fuzz::Kind::kStealVictim, n, p.rng().below(n));
   for (std::size_t step = 0; step < n; step++) {
     const std::size_t v = (start + step) % n;
     if (v == me) continue;
@@ -245,7 +247,8 @@ std::optional<ThreadState> WorkStealingQueue::deq(Platform& p) {
   }
   // Steal from a victim, starting at a random proc.  The unsynchronized
   // size peek costs one shared-memory read; the take itself is one CAS.
-  const std::size_t start = p.rng().below(n);
+  const std::size_t start =
+      fuzz::pick(fuzz::Kind::kStealVictim, n, p.rng().below(n));
   for (std::size_t step = 0; step < n; step++) {
     const std::size_t v = (start + step) % n;
     if (v == me) continue;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "arch/panic.h"
+#include "fuzz/hooks.h"
 #include "metrics/metrics.h"
 
 namespace mp::threads {
@@ -229,8 +230,13 @@ void Scheduler::wake_one() {
   // increment reads from this RMW and its queue re-check sees the enqueue.
   // (An atomic_thread_fence would also do, but TSan does not model fences.)
   if (parked_count_.fetch_add(0, std::memory_order_seq_cst) == 0) return;
-  for (auto& cp : cores_) {
-    ProcCore& c = *cp;
+  // Fuzz choice point: which core the claim scan starts at.  Rotating the
+  // scan picks a different parked proc to wake, reordering every wakeup
+  // downstream of this enqueue.
+  const std::size_t rot =
+      fuzz::pick(fuzz::Kind::kWakeScan, cores_.size(), 0);
+  for (std::size_t i = 0; i < cores_.size(); i++) {
+    ProcCore& c = *cores_[(i + rot) % cores_.size()];
     ParkState st = c.park_state.load(std::memory_order_seq_cst);
     if (st != ParkState::kParkedPort && st != ParkState::kParkedReactor) {
       continue;
@@ -353,8 +359,13 @@ void Scheduler::fork(std::function<void()> child) {
 }
 
 void Scheduler::yield() {
-  plat_.work(cfg_.costs.yield_instr);
+  // Mask before charging the yield cost: a preempt landing inside the
+  // charge would run its handler (which yields again) on top of this
+  // frame, and under a preempt storm — quantum shorter than the dispatch
+  // cost — that nesting is unbounded and overflows the thread stack.  The
+  // pending preempt is not lost; it delivers at the next unmasked charge.
   plat_.mask_signal(Sig::kPreempt);
+  plat_.work(cfg_.costs.yield_instr);
   MPNJ_METRIC_COUNT(kSchedYields, 1);
   if (cfg_.tracer) {
     cfg_.tracer->record(plat_, TraceKind::kYield,

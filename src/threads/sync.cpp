@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "arch/panic.h"
+#include "fuzz/hooks.h"
 
 namespace mp::threads {
 
@@ -211,6 +212,12 @@ void Barrier::arrive_and_wait() {
         // Stamp the releasing generation before the grant; the waiter
         // checks it was freed by its own episode's flip.
         n->tag = released;
+        if (fuzz::injected(fuzz::InjectedBug::kBarrierGeneration)) {
+          // Deliberately re-introduced bug (MPNJ_FUZZ_INJECT): stamp the
+          // pre-flip generation, as if the flip forgot to advance before
+          // releasing.  Every released waiter's reuse guard then trips.
+          n->tag = released - 1;
+        }
         claim_grant(sched_, *n);
       }
       return;

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <set>
@@ -23,6 +24,27 @@ using mp::gc::GlobalRoot;
 using mp::gc::Value;
 using mp::threads::CountdownLatch;
 using mp::threads::Scheduler;
+
+// Seed-sweep control.  The default lists are fixed so CI runs are stable
+// and failures name a reproducible test case; MPNJ_FUZZ_SEED=<base> re-aims
+// the whole sweep at a fresh seed region (base, base+1, ...) and
+// MPNJ_FUZZ_ITERS=<n> widens or narrows it — e.g. a nightly job can run
+// MPNJ_FUZZ_SEED=$RANDOM MPNJ_FUZZ_ITERS=64 without recompiling.
+std::vector<std::uint64_t> sweep_seeds(
+    std::initializer_list<std::uint64_t> dflt) {
+  const char* seed_env = std::getenv("MPNJ_FUZZ_SEED");
+  const char* iters_env = std::getenv("MPNJ_FUZZ_ITERS");
+  std::vector<std::uint64_t> seeds(dflt);
+  if (seed_env == nullptr && iters_env == nullptr) return seeds;
+  const std::uint64_t base =
+      seed_env != nullptr ? std::strtoull(seed_env, nullptr, 0) : 1;
+  const std::uint64_t n =
+      iters_env != nullptr ? std::strtoull(iters_env, nullptr, 0)
+                           : seeds.size();
+  seeds.clear();
+  for (std::uint64_t i = 0; i < n; i++) seeds.push_back(base + i);
+  return seeds;
+}
 
 // ---------- GC graph fuzz ----------
 //
@@ -181,8 +203,9 @@ TEST_P(GcGraphFuzz, RandomGraphMatchesShadowAcrossCollections) {
   });
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, GcGraphFuzz,
-                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, GcGraphFuzz,
+    ::testing::ValuesIn(sweep_seeds({1u, 2u, 3u, 17u, 99u, 12345u})));
 
 // ---------- channel ledger fuzz ----------
 //
@@ -259,11 +282,22 @@ TEST_P(ChannelFuzz, ExactlyOnceDeliveryUnderRandomTraffic) {
   }
 }
 
+// Default sweep: the historical (seed, procs) pairs.  Under
+// MPNJ_FUZZ_SEED / MPNJ_FUZZ_ITERS the seeds come from sweep_seeds and the
+// machine sizes cycle through the same proc counts.
+std::vector<ChanFuzzCase> channel_sweep() {
+  const int procs_cycle[] = {2, 4, 8, 16, 3, 6};
+  const std::vector<std::uint64_t> seeds =
+      sweep_seeds({1u, 2u, 3u, 4u, 5u, 99u});
+  std::vector<ChanFuzzCase> cases;
+  for (std::size_t i = 0; i < seeds.size(); i++) {
+    cases.push_back(ChanFuzzCase{seeds[i], procs_cycle[i % 6]});
+  }
+  return cases;
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    Sweep, ChannelFuzz,
-    ::testing::Values(ChanFuzzCase{1, 2}, ChanFuzzCase{2, 4},
-                      ChanFuzzCase{3, 8}, ChanFuzzCase{4, 16},
-                      ChanFuzzCase{5, 3}, ChanFuzzCase{99, 6}),
+    Sweep, ChannelFuzz, ::testing::ValuesIn(channel_sweep()),
     [](const auto& info) {
       return "seed" + std::to_string(info.param.seed) + "procs" +
              std::to_string(info.param.procs);

@@ -1,0 +1,286 @@
+// The schedule fuzzer's own test suite: baseline determinism, fork/CoW
+// snapshot round trips, mutated-replay determinism, failure classification,
+// seed-file round trips, and the acceptance harness — with a known
+// interleaving bug deliberately re-introduced (MPNJ_FUZZ_INJECT), the
+// fuzzer must re-find it inside a bounded budget and the shrunk seed must
+// replay to the identical failure.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fuzz/driver.h"
+#include "fuzz/scenarios.h"
+#include "fuzz/snapshot.h"
+#include "fuzz/trace.h"
+
+namespace {
+
+using namespace mp::fuzz;
+
+double env_budget(const char* name, double dflt) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : dflt;
+}
+
+ExecutorOptions cold_opts() {
+  ExecutorOptions o;
+  o.use_snapshot = false;
+  o.decision_budget = 3'000'000;
+  o.child_timeout_s = 120;
+  o.mute_child_stderr = true;
+  return o;
+}
+
+// Guard that sets MPNJ_FUZZ_INJECT for the test body and clears it after
+// (executor children re-parse the variable after fork).
+struct InjectGuard {
+  explicit InjectGuard(const char* bugs) {
+    setenv("MPNJ_FUZZ_INJECT", bugs, 1);
+  }
+  ~InjectGuard() { unsetenv("MPNJ_FUZZ_INJECT"); }
+};
+
+// ---------- baseline determinism ----------
+
+TEST(ScheduleFuzz, BaselineRunsAreBitIdentical) {
+  for (const Scenario& sc : scenarios()) {
+    ScenarioOpts opts;
+    Executor ex(scenario_body(sc.name, opts), cold_opts());
+    ScheduleTrace t1, t2;
+    const RunResult a = ex.run({}, &t1);
+    const RunResult b = ex.run({}, &t2);
+    ASSERT_FALSE(a.failed()) << sc.name << ": " << a.message;
+    EXPECT_EQ(a.checksum, b.checksum) << sc.name;
+    EXPECT_EQ(a.virtual_us, b.virtual_us) << sc.name;
+    EXPECT_EQ(a.decisions, b.decisions) << sc.name;
+    ASSERT_EQ(t1.count(), t2.count()) << sc.name;
+    for (std::size_t i = 0; i < t1.decisions.size(); i++) {
+      ASSERT_EQ(static_cast<int>(t1.decisions[i].kind),
+                static_cast<int>(t2.decisions[i].kind))
+          << sc.name << " decision " << i;
+      ASSERT_EQ(t1.decisions[i].chosen, t2.decisions[i].chosen)
+          << sc.name << " decision " << i;
+    }
+    EXPECT_GT(t1.count(), 100u) << sc.name << " exercises too few decisions";
+  }
+}
+
+// ---------- snapshot round trip ----------
+//
+// A run restored from a mid-run CoW snapshot must be bit-identical to the
+// uninterrupted run: same checksum, same virtual time, same decision
+// count.  Swept across both queue disciplines and both GC modes.
+
+TEST(ScheduleFuzz, SnapshotRoundTripIsBitIdentical) {
+  struct Case {
+    const char* scenario;
+    const char* queue;
+    bool parallel_gc;
+  };
+  const Case cases[] = {
+      {"gc-churn", "ws", true},
+      {"gc-churn", "ws", false},
+      {"gc-churn", "distributed", true},
+      {"qlock-storm", "distributed", false},
+      {"cml-ring", "ws", true},
+      {"wake-storm", "distributed", true},
+  };
+  for (const Case& c : cases) {
+    ScenarioOpts opts;
+    opts.queue = c.queue;
+    opts.parallel_gc = c.parallel_gc;
+    const std::string label = std::string(c.scenario) + "/" + c.queue +
+                              (c.parallel_gc ? "/par" : "/seq");
+
+    Executor cold(scenario_body(c.scenario, opts), cold_opts());
+    const RunResult base = cold.run({});
+    ASSERT_FALSE(base.failed()) << label << ": " << base.message;
+
+    // Snapshot mid-run: park the server a few hundred decisions in.
+    ExecutorOptions wopts = cold_opts();
+    wopts.use_snapshot = true;
+    wopts.snapshot_at = base.decisions / 2;
+    Executor warm(scenario_body(c.scenario, opts), wopts);
+    const RunResult restored1 = warm.run({});
+    const RunResult restored2 = warm.run({});
+    EXPECT_EQ(restored1.checksum, base.checksum) << label;
+    EXPECT_EQ(restored1.virtual_us, base.virtual_us) << label;
+    EXPECT_EQ(restored1.decisions, base.decisions) << label;
+    EXPECT_EQ(restored2.checksum, base.checksum) << label;
+    EXPECT_EQ(restored2.virtual_us, base.virtual_us) << label;
+  }
+}
+
+// Mutations applied past the snapshot point must behave identically warm
+// and cold.
+
+TEST(ScheduleFuzz, SnapshotServesMutatedRunsIdentically) {
+  ScenarioOpts opts;
+  Executor cold(scenario_body("qlock-storm", opts), cold_opts());
+  const RunResult base = cold.run({});
+  ASSERT_FALSE(base.failed()) << base.message;
+  const std::uint64_t snap = base.decisions / 4;
+
+  ExecutorOptions wopts = cold_opts();
+  wopts.use_snapshot = true;
+  wopts.snapshot_at = snap;
+  Executor warm(scenario_body("qlock-storm", opts), wopts);
+
+  for (std::uint64_t probe = 0; probe < 3; probe++) {
+    std::vector<Mutation> muts;
+    Mutation m;
+    m.index = snap + probe * 97;  // at and past the snapshot point
+    m.jitter_us = 25;
+    muts.push_back(m);
+    const RunResult w = warm.run(muts);
+    const RunResult c = cold.run(muts);
+    EXPECT_EQ(w.signature(), c.signature()) << "probe " << probe;
+    EXPECT_EQ(w.checksum, c.checksum) << "probe " << probe;
+    EXPECT_EQ(w.virtual_us, c.virtual_us) << "probe " << probe;
+    EXPECT_EQ(w.decisions, c.decisions) << "probe " << probe;
+  }
+}
+
+// ---------- mutated replay determinism ----------
+
+TEST(ScheduleFuzz, MutatedRunsReplayByteForByte) {
+  ScenarioOpts opts;
+  Executor ex(scenario_body("cml-ring", opts), cold_opts());
+  std::vector<Mutation> muts;
+  for (std::uint64_t i = 0; i < 4; i++) {
+    Mutation m;
+    m.index = 50 + i * 211;
+    if (i % 2 == 0) {
+      m.jitter_us = 10.0 * static_cast<double>(i + 1);
+    } else {
+      m.has_pick = true;
+      m.pick = i;
+    }
+    muts.push_back(m);
+  }
+  ScheduleTrace t1, t2;
+  const RunResult a = ex.run(muts, &t1);
+  const RunResult b = ex.run(muts, &t2);
+  EXPECT_EQ(a.signature(), b.signature());
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.virtual_us, b.virtual_us);
+  ASSERT_EQ(t1.count(), t2.count());
+  for (std::size_t i = 0; i < t1.decisions.size(); i++) {
+    ASSERT_EQ(t1.decisions[i].chosen, t2.decisions[i].chosen)
+        << "decision " << i;
+  }
+}
+
+// ---------- failure classification ----------
+
+TEST(ScheduleFuzz, DecisionBudgetOverrunClassifiesAsHang) {
+  ScenarioOpts opts;
+  ExecutorOptions eopts = cold_opts();
+  eopts.decision_budget = 500;  // far below any scenario's real footprint
+  Executor ex(scenario_body("qlock-storm", opts), eopts);
+  const RunResult r = ex.run({});
+  EXPECT_EQ(r.status, RunResult::Status::kHang);
+  EXPECT_NE(r.message.find("decision budget exceeded"), std::string::npos)
+      << r.message;
+  EXPECT_EQ(r.decisions, 500u);
+}
+
+// ---------- seed files ----------
+
+TEST(ScheduleFuzz, SeedFileRoundTrips) {
+  SeedFile s;
+  s.scenario = "qlock-storm";
+  s.seed = 0xabcdef;
+  s.procs = 7;
+  s.queue = "distributed";
+  s.parallel_gc = false;
+  s.decision_budget = 123456;
+  Mutation m1;
+  m1.index = 42;
+  m1.has_pick = true;
+  m1.pick = 3;
+  Mutation m2;
+  m2.index = 4711;
+  m2.jitter_us = 12.625;
+  s.mutations = {m1, m2};
+  s.signature = "deadlock simulated deadlock: all procs idle";
+
+  SeedFile parsed;
+  std::string err;
+  ASSERT_TRUE(parse_seed_file(format_seed_file(s), &parsed, &err)) << err;
+  EXPECT_EQ(parsed.scenario, s.scenario);
+  EXPECT_EQ(parsed.seed, s.seed);
+  EXPECT_EQ(parsed.procs, s.procs);
+  EXPECT_EQ(parsed.queue, s.queue);
+  EXPECT_EQ(parsed.parallel_gc, s.parallel_gc);
+  EXPECT_EQ(parsed.decision_budget, s.decision_budget);
+  ASSERT_EQ(parsed.mutations.size(), 2u);
+  EXPECT_EQ(parsed.mutations[0].index, 42u);
+  EXPECT_TRUE(parsed.mutations[0].has_pick);
+  EXPECT_EQ(parsed.mutations[0].pick, 3u);
+  EXPECT_EQ(parsed.mutations[1].index, 4711u);
+  EXPECT_EQ(parsed.mutations[1].jitter_us, 12.625);
+  EXPECT_EQ(parsed.signature, s.signature);
+
+  SeedFile bad;
+  EXPECT_FALSE(parse_seed_file("not a seed file\n", &bad, &err));
+  EXPECT_FALSE(parse_seed_file(
+      "mpnj-schedule-fuzz v1\nscenario x\nmutate 1 frobnicate 2\n", &bad,
+      &err));
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+}
+
+// ---------- acceptance: re-finding injected bugs ----------
+
+TEST(ScheduleFuzz, FindsInjectedBarrierGenerationBug) {
+  InjectGuard inject("barrier-generation");
+  DriverOptions opt;
+  opt.scenario = "qlock-storm";
+  opt.budget_s = env_budget("MPNJ_FUZZ_BUDGET_S", 60);
+  const DriverResult r = fuzz_scenario(opt);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.failure.status, RunResult::Status::kPanic);
+  EXPECT_NE(r.failure.message.find("Barrier waiter resumed"),
+            std::string::npos)
+      << r.failure.message;
+  // The failing seed must replay to the identical failure, twice.
+  const RunResult p1 = replay_seed(r.seed);
+  const RunResult p2 = replay_seed(r.seed);
+  EXPECT_EQ(p1.signature(), r.seed.signature);
+  EXPECT_EQ(p2.signature(), r.seed.signature);
+}
+
+TEST(ScheduleFuzz, FindsInjectedQlockParkRaceWithinBudget) {
+  InjectGuard inject("qlock-park-race");
+  DriverOptions opt;
+  opt.scenario = "qlock-storm";
+  opt.budget_s = env_budget("MPNJ_FUZZ_BUDGET_S", 60);
+  opt.rng_seed = 7;
+  const DriverResult r = fuzz_scenario(opt);
+  ASSERT_TRUE(r.found) << "no failing schedule in " << r.executions
+                       << " executions";
+  // The lost wakeup surfaces as a deadlock (all procs idle) or as a
+  // decision-budget hang (parked procs cycling their park slices).
+  EXPECT_TRUE(r.failure.status == RunResult::Status::kDeadlock ||
+              r.failure.status == RunResult::Status::kHang)
+      << status_name(r.failure.status) << ": " << r.failure.message;
+  EXPECT_FALSE(r.seed.mutations.empty())
+      << "the unmutated baseline should not fail";
+
+  // Acceptance: two consecutive replays reproduce the identical failure.
+  const RunResult p1 = replay_seed(r.seed);
+  const RunResult p2 = replay_seed(r.seed);
+  EXPECT_EQ(p1.signature(), r.seed.signature);
+  EXPECT_EQ(p2.signature(), r.seed.signature);
+
+  // And without the injection the same schedule is clean: the find is the
+  // bug, not the mutations.
+  unsetenv("MPNJ_FUZZ_INJECT");
+  const RunResult clean = replay_seed(r.seed);
+  EXPECT_FALSE(clean.failed()) << clean.message;
+}
+
+}  // namespace
