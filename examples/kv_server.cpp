@@ -1,0 +1,165 @@
+// The sharded KV service (src/kv) as a real TCP server: one shard owner
+// MLthread per proc, connections served over the reactor, no locks anywhere
+// on the request path.  By default it drives itself — a loopback client
+// fleet runs a mixed GET/SET/DEL/RANGE load, checks every reply against a
+// per-client model, and the process exits 0 only if every reply matched.
+//
+//   ./build/examples/kv_server [--procs N] [--clients N] [--ops N] [--serve]
+//
+// --serve skips the fleet and listens until killed, so you can talk to it
+// from another terminal with e.g.:
+//   printf 'SET greeting 5\nhello\nGET greeting\nQUIT\n' | nc 127.0.0.1 <port>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "io/stream.h"
+#include "kv/client.h"
+#include "kv/server.h"
+#include "kv/service.h"
+#include "mp/native_platform.h"
+#include "threads/scheduler.h"
+#include "threads/sync.h"
+
+using mp::io::Duplex;
+using mp::io::Listener;
+using mp::io::Reactor;
+using mp::io::Stream;
+using mp::kv::KvClient;
+using mp::kv::KvService;
+using mp::threads::CountdownLatch;
+using mp::threads::Scheduler;
+
+namespace {
+
+int arg_int(int argc, char** argv, const char* name, int fallback) {
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+bool arg_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+// One client: a scripted mixed load on a private key prefix, every reply
+// checked against a local model.
+void client_fleet_member(KvClient& cli, int id, int ops,
+                         std::atomic<long>& failures) {
+  std::map<std::string, std::string> model;
+  const std::string prefix = "c" + std::to_string(id) + ":";
+  long bad = 0;
+  if (!cli.ping()) bad++;
+  for (int i = 0; i < ops; i++) {
+    const std::string key = prefix + "k" + std::to_string((i * 7) % 23);
+    switch (i % 5) {
+      case 0:
+      case 1: {
+        const std::string val = "v" + std::to_string(id) + "." +
+                                std::to_string(i);
+        if (!cli.set(key, val)) bad++;
+        model[key] = val;
+        break;
+      }
+      case 2:
+      case 3: {
+        std::string got;
+        const bool hit = cli.get(key, &got);
+        const auto it = model.find(key);
+        if (hit != (it != model.end()) || (hit && got != it->second)) bad++;
+        break;
+      }
+      default: {
+        if (i % 10 == 4) {
+          const long n = cli.del(key);
+          if (n != static_cast<long>(model.erase(key))) bad++;
+        } else {
+          const auto pairs = cli.range(prefix, prefix + "k~", -1);
+          if (pairs.size() != model.size()) bad++;
+        }
+        break;
+      }
+    }
+  }
+  cli.quit();
+  failures.fetch_add(bad);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int procs = arg_int(argc, argv, "--procs", 4);
+  const int clients = arg_int(argc, argv, "--clients", 64);
+  const int ops = arg_int(argc, argv, "--ops", 100);
+  const bool serve_forever = arg_flag(argc, argv, "--serve");
+
+  mp::NativePlatformConfig config;
+  config.max_procs = procs;
+  mp::NativePlatform platform(config);
+
+  std::atomic<long> failures{0};
+  std::atomic<long> served{0};
+  Scheduler::run(platform, {}, [&](Scheduler& s) {
+    mp::kv::KvConfig cfg;
+    cfg.shards = procs;
+    KvService svc(s, cfg);
+    svc.start();
+
+    Reactor reactor(s);
+    Listener listener = Listener::tcp(reactor, 0, std::max(clients, 128));
+    std::printf("kv server: %d shards on %d procs, 127.0.0.1:%u\n",
+                svc.shards(), procs, listener.port());
+
+    if (serve_forever) {
+      for (;;) {
+        Stream conn = listener.accept();
+        s.fork([&svc, conn]() mutable {
+          mp::kv::serve(svc, Duplex{conn, conn});
+        });
+      }
+    }
+
+    CountdownLatch servers_done(s, clients);
+    CountdownLatch clients_done(s, clients);
+    s.fork([&] {
+      for (int i = 0; i < clients; i++) {
+        Stream conn = listener.accept();
+        s.fork([&svc, &servers_done, conn]() mutable {
+          mp::kv::serve(svc, Duplex{conn, conn});
+          servers_done.count_down();
+        });
+      }
+    });
+
+    for (int c = 0; c < clients; c++) {
+      s.fork([&, c] {
+        Stream conn = Stream::connect_tcp(reactor, listener.port());
+        KvClient cli(conn, conn);
+        client_fleet_member(cli, c, ops, failures);
+        served.fetch_add(1);
+        clients_done.count_down();
+      });
+    }
+
+    clients_done.await();
+    servers_done.await();
+    const auto st = svc.stats();
+    std::printf("stats: keys=%zu bytes=%zu ops=%llu shards=%d\n", st.keys,
+                st.bytes, static_cast<unsigned long long>(st.ops), st.shards);
+    svc.stop();
+    listener.close();
+  });
+
+  std::printf("served %ld clients, %ld reply mismatches\n", served.load(),
+              failures.load());
+  return failures.load() == 0 && served.load() == clients ? 0 : 1;
+}

@@ -1,0 +1,433 @@
+#include "kv/proto.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mp::kv {
+
+namespace {
+
+// Strict unsigned-decimal parse (no sign, no blanks); false on overflow or
+// a non-digit.
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (UINT64_MAX - 9) / 10) return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kGet:   return "GET";
+    case Op::kSet:   return "SET";
+    case Op::kDel:   return "DEL";
+    case Op::kRange: return "RANGE";
+    case Op::kStats: return "STATS";
+    case Op::kPing:  return "PING";
+    case Op::kQuit:  return "QUIT";
+  }
+  return "?";
+}
+
+// ---- FrameParser ----
+
+void FrameParser::feed(const void* data, std::size_t n) {
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+void FrameParser::compact() {
+  // Drop the consumed prefix once it dominates the buffer, so long-lived
+  // connections do not accumulate dead bytes.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+bool FrameParser::parse_line(std::string_view line, Request* out) {
+  // Tokenize on runs of spaces (keys cannot contain spaces or newlines).
+  std::string_view tok[4];
+  std::size_t ntok = 0;
+  bool overflow = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') i++;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') j++;
+    if (j > i) {
+      if (ntok < 4) {
+        tok[ntok++] = line.substr(i, j - i);
+      } else {
+        overflow = true;
+      }
+    }
+    i = j;
+  }
+  if (ntok == 0) return false;  // all-blank line: ignored, stay in kLine
+
+  const auto err = [out](const char* msg) {
+    *out = Request{};
+    out->error = msg;
+    return true;
+  };
+  if (overflow) return err("too many arguments");
+
+  const std::string_view verb = tok[0];
+  if (verb == "GET" || verb == "DEL") {
+    if (ntok != 2) return err("expected: GET|DEL <key>");
+    if (tok[1].size() > kMaxKeyBytes) return err("key too long");
+    *out = Request{};
+    out->op = verb == "GET" ? Op::kGet : Op::kDel;
+    out->key.assign(tok[1].data(), tok[1].size());
+    return true;
+  }
+  if (verb == "SET") {
+    if (ntok != 3) return err("expected: SET <key> <vlen>");
+    std::uint64_t vlen = 0;
+    if (!parse_u64(tok[2], &vlen)) return err("bad value length");
+    if (tok[1].size() > kMaxKeyBytes) {
+      // The payload is on the wire regardless; skip it byte-accurately so
+      // the stream stays framed, then report.
+      mode_ = Mode::kDiscardValue;
+      value_need_ = static_cast<std::size_t>(vlen);
+      deferred_error_ = "key too long";
+      return false;
+    }
+    if (vlen > kMaxValueBytes) {
+      mode_ = Mode::kDiscardValue;
+      value_need_ = static_cast<std::size_t>(vlen);
+      deferred_error_ = "value too long";
+      return false;
+    }
+    pending_ = Request{};
+    pending_.op = Op::kSet;
+    pending_.key.assign(tok[1].data(), tok[1].size());
+    pending_.value.reserve(static_cast<std::size_t>(vlen));
+    mode_ = Mode::kValue;
+    value_need_ = static_cast<std::size_t>(vlen);
+    return false;
+  }
+  if (verb == "RANGE") {
+    if (ntok != 3 && ntok != 4) {
+      return err("expected: RANGE <lo> <hi> [<limit>]");
+    }
+    if (tok[1].size() > kMaxKeyBytes || tok[2].size() > kMaxKeyBytes) {
+      return err("key too long");
+    }
+    long limit = -1;
+    if (ntok == 4) {
+      std::uint64_t l = 0;
+      if (!parse_u64(tok[3], &l) || l > 1u << 20) return err("bad limit");
+      limit = static_cast<long>(l);
+    }
+    *out = Request{};
+    out->op = Op::kRange;
+    out->key.assign(tok[1].data(), tok[1].size());
+    out->hi.assign(tok[2].data(), tok[2].size());
+    out->limit = limit;
+    return true;
+  }
+  if (verb == "STATS" || verb == "PING" || verb == "QUIT") {
+    if (ntok != 1) return err("unexpected arguments");
+    *out = Request{};
+    out->op = verb == "STATS" ? Op::kStats
+              : verb == "PING" ? Op::kPing
+                               : Op::kQuit;
+    return true;
+  }
+  return err("unknown command");
+}
+
+bool FrameParser::next(Request* out) {
+  for (;;) {
+    switch (mode_) {
+      case Mode::kLine: {
+        const std::size_t nl = buf_.find('\n', pos_);
+        if (nl == std::string::npos) {
+          if (buf_.size() - pos_ > kMaxLineBytes) {
+            // No newline in a whole line's worth of bytes: discard until
+            // one shows up, then report once.
+            mode_ = Mode::kDiscardLine;
+            deferred_error_ = "line too long";
+            continue;
+          }
+          compact();
+          return false;
+        }
+        std::string_view line(buf_.data() + pos_, nl - pos_);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        pos_ = nl + 1;
+        if (line.size() > kMaxLineBytes) {
+          *out = Request{};
+          out->error = "line too long";
+          return true;
+        }
+        if (parse_line(line, out)) return true;
+        continue;  // blank line, or a SET/discard that changed mode
+      }
+      case Mode::kValue: {
+        if (buf_.size() - pos_ < value_need_) {
+          compact();
+          return false;
+        }
+        pending_.value.assign(buf_, pos_, value_need_);
+        pos_ += value_need_;
+        value_need_ = 0;
+        mode_ = Mode::kValueNl;
+        continue;
+      }
+      case Mode::kValueNl: {
+        if (pos_ >= buf_.size()) {
+          compact();
+          return false;
+        }
+        const char c = buf_[pos_];
+        if (c == '\n') {
+          pos_ += 1;
+        } else if (c == '\r') {
+          if (buf_.size() - pos_ < 2) {
+            compact();
+            return false;
+          }
+          if (buf_[pos_ + 1] != '\n') {
+            mode_ = Mode::kDiscardLine;
+            deferred_error_ = "value not newline-terminated";
+            continue;
+          }
+          pos_ += 2;
+        } else {
+          mode_ = Mode::kDiscardLine;
+          deferred_error_ = "value not newline-terminated";
+          continue;
+        }
+        mode_ = Mode::kLine;
+        *out = std::move(pending_);
+        pending_ = Request{};
+        return true;
+      }
+      case Mode::kDiscardValue: {
+        const std::size_t drop = std::min(buf_.size() - pos_, value_need_);
+        pos_ += drop;
+        value_need_ -= drop;
+        if (value_need_ > 0) {
+          compact();
+          return false;
+        }
+        mode_ = Mode::kDiscardLine;  // eat the payload's trailing newline
+        continue;
+      }
+      case Mode::kDiscardLine: {
+        const std::size_t nl = buf_.find('\n', pos_);
+        if (nl == std::string::npos) {
+          pos_ = buf_.size();
+          compact();
+          return false;
+        }
+        pos_ = nl + 1;
+        mode_ = Mode::kLine;
+        *out = Request{};
+        out->error = std::move(deferred_error_);
+        deferred_error_.clear();
+        return true;
+      }
+    }
+  }
+}
+
+// ---- reply encoding ----
+
+void encode_ok(std::string* out) { out->append("+OK\r\n"); }
+void encode_pong(std::string* out) { out->append("+PONG\r\n"); }
+
+void encode_error(std::string* out, std::string_view msg) {
+  out->append("-ERR ");
+  out->append(msg.data(), msg.size());
+  out->append("\r\n");
+}
+
+void encode_int(std::string* out, long v) {
+  out->push_back(':');
+  out->append(std::to_string(v));
+  out->append("\r\n");
+}
+
+void encode_bulk(std::string* out, std::string_view v) {
+  out->push_back('$');
+  out->append(std::to_string(v.size()));
+  out->append("\r\n");
+  out->append(v.data(), v.size());
+  out->append("\r\n");
+}
+
+void encode_nil(std::string* out) { out->append("$-1\r\n"); }
+
+void encode_array_header(std::string* out, std::size_t items) {
+  out->push_back('*');
+  out->append(std::to_string(items));
+  out->append("\r\n");
+}
+
+// ---- request encoding ----
+
+void encode_get(std::string* out, std::string_view key) {
+  out->append("GET ");
+  out->append(key.data(), key.size());
+  out->push_back('\n');
+}
+
+void encode_set(std::string* out, std::string_view key, std::string_view value) {
+  out->append("SET ");
+  out->append(key.data(), key.size());
+  out->push_back(' ');
+  out->append(std::to_string(value.size()));
+  out->push_back('\n');
+  out->append(value.data(), value.size());
+  out->push_back('\n');
+}
+
+void encode_del(std::string* out, std::string_view key) {
+  out->append("DEL ");
+  out->append(key.data(), key.size());
+  out->push_back('\n');
+}
+
+void encode_range(std::string* out, std::string_view lo, std::string_view hi,
+                  long limit) {
+  out->append("RANGE ");
+  out->append(lo.data(), lo.size());
+  out->push_back(' ');
+  out->append(hi.data(), hi.size());
+  if (limit >= 0) {
+    out->push_back(' ');
+    out->append(std::to_string(limit));
+  }
+  out->push_back('\n');
+}
+
+void encode_stats(std::string* out) { out->append("STATS\n"); }
+void encode_ping(std::string* out) { out->append("PING\n"); }
+void encode_quit(std::string* out) { out->append("QUIT\n"); }
+
+// ---- ReplyParser ----
+
+void ReplyParser::feed(const void* data, std::size_t n) {
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+void ReplyParser::compact() {
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+bool ReplyParser::take_line(std::string_view* line) {
+  const std::size_t nl = buf_.find('\n', pos_);
+  if (nl == std::string::npos) {
+    compact();
+    return false;
+  }
+  *line = std::string_view(buf_.data() + pos_, nl - pos_);
+  if (!line->empty() && line->back() == '\r') line->remove_suffix(1);
+  pos_ = nl + 1;
+  return true;
+}
+
+bool ReplyParser::next(Reply* out) {
+  for (;;) {
+    switch (mode_) {
+      case Mode::kLine: {
+        std::string_view line;
+        if (!take_line(&line)) return false;
+        if (line.empty()) continue;
+        const char tag = line.front();
+        const std::string_view body = line.substr(1);
+        if (tag == '$') {
+          if (body == "-1") {
+            if (in_array_) continue;  // nil never appears inside RANGE arrays
+            *out = Reply{};
+            out->kind = Reply::Kind::kNil;
+            return true;
+          }
+          std::uint64_t n = 0;
+          if (!parse_u64(body, &n)) continue;  // malformed header: skip
+          bulk_need_ = static_cast<std::size_t>(n);
+          mode_ = Mode::kBulkBody;
+          continue;
+        }
+        if (tag == '*') {
+          std::uint64_t n = 0;
+          if (!parse_u64(body, &n)) continue;
+          pending_ = Reply{};
+          pending_.kind = Reply::Kind::kArray;
+          if (n == 0) {
+            *out = std::move(pending_);
+            pending_ = Reply{};
+            return true;
+          }
+          in_array_ = true;
+          array_left_ = static_cast<long>(n);
+          continue;
+        }
+        *out = Reply{};
+        if (tag == '+') {
+          out->kind = Reply::Kind::kSimple;
+          out->text.assign(body.data(), body.size());
+        } else if (tag == '-') {
+          out->kind = Reply::Kind::kError;
+          // Strip the conventional "ERR " prefix for callers.
+          std::string_view msg = body;
+          if (msg.substr(0, 4) == "ERR ") msg.remove_prefix(4);
+          out->text.assign(msg.data(), msg.size());
+        } else if (tag == ':') {
+          out->kind = Reply::Kind::kInt;
+          out->ival = std::strtol(std::string(body).c_str(), nullptr, 10);
+        } else {
+          continue;  // unknown frame tag: skip the line
+        }
+        return true;
+      }
+      case Mode::kBulkBody: {
+        const std::size_t have = buf_.size() - pos_;
+        if (have < bulk_need_ + 1) {
+          compact();
+          return false;
+        }
+        std::size_t term = 1;
+        if (buf_[pos_ + bulk_need_] == '\r') {
+          if (have < bulk_need_ + 2) {
+            compact();
+            return false;
+          }
+          term = 2;
+        }
+        std::string body(buf_, pos_, bulk_need_);
+        pos_ += bulk_need_ + term;
+        mode_ = Mode::kLine;
+        if (in_array_) {
+          pending_.items.push_back(std::move(body));
+          if (--array_left_ == 0) {
+            in_array_ = false;
+            *out = std::move(pending_);
+            pending_ = Reply{};
+            return true;
+          }
+          continue;
+        }
+        *out = Reply{};
+        out->kind = Reply::Kind::kBulk;
+        out->text = std::move(body);
+        return true;
+      }
+    }
+  }
+}
+
+}  // namespace mp::kv

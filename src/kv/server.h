@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+
+#include "io/stream.h"
+#include "kv/service.h"
+
+// The per-connection serving layer: glue between an mp::io byte stream and
+// the sharded KvService.  Each connection gets two MLthreads —
+//
+//  - the reader (the thread that calls serve) pulls bytes, runs the
+//    incremental FrameParser, stamps each request with a per-connection
+//    sequence number, and hands it to its owning shard via KvService::submit
+//    (a rendezvous send — the only backpressure in the system);
+//  - the writer receives finished requests on the connection's reply
+//    channel, reorders them back into submission order (pipelined requests
+//    fan out across shards and complete in any order), and flushes each
+//    contiguous run with one coalesced write_all.
+//
+// Protocol errors, PING, and STATS never reach a shard: the reader answers
+// them itself, but still routes the encoded reply through the reply channel
+// under the same sequence numbering, so pipelined replies stay in request
+// order no matter what produced them.
+
+namespace mp::kv {
+
+struct ServeOptions {
+  std::size_t read_chunk = 4096;  // reader's read_some granularity
+};
+
+// Serve one connection until the peer disconnects or sends QUIT.  Blocks the
+// calling MLthread (it becomes the reader); the writer thread is forked and
+// joined internally.  Streams are closed on return.
+void serve(KvService& svc, io::Stream in, io::Stream out,
+           ServeOptions opts = {});
+
+inline void serve(KvService& svc, io::Duplex conn, ServeOptions opts = {}) {
+  serve(svc, conn.in, conn.out, opts);
+}
+
+}  // namespace mp::kv

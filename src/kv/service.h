@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cml/cml.h"
+#include "kv/proto.h"
+#include "kv/store.h"
+#include "threads/scheduler.h"
+#include "threads/sync.h"
+
+// The sharded KV service core (docs/KV.md): N ShardStores, each owned by
+// exactly one MLthread, with ALL access routed through a per-shard CML
+// request channel.  The shard data structures take no locks on the request
+// path — ownership replaces mutual exclusion, and contention between
+// connections becomes scheduling (rendezvous on the shard channel), which
+// the work-stealing cores and parking locks underneath already make fast.
+//
+// Keys map to shards by rendezvous (highest-random-weight) hashing over
+// per-shard salts: every key has one owner, ownership is stable under a
+// fixed shard count, and the mapping needs no shared routing table.
+
+namespace mp::kv {
+
+struct KvConfig {
+  // Shard count; 0 = one shard per proc (the platform's max_procs).
+  int shards = 0;
+  // Seed for per-shard skiplist height streams and routing salts.
+  std::uint64_t seed = 0x5eed;
+};
+
+// One in-flight request: allocated by a connection's reader thread, applied
+// and reply-encoded by the owning shard thread, retired (in submission
+// order) by the connection's writer thread.  Crosses CML channels as a
+// pointer, like every payload in this runtime.
+struct KvReq {
+  Request req;
+  std::string out;   // encoded reply bytes (filled by the shard)
+  // RANGE probe results (structured, per shard; the connection layer merges
+  // across shards and encodes — see server.cpp).
+  std::vector<std::pair<std::string, std::string>> range_out;
+  std::uint64_t seq = 0;  // per-connection submission order
+  // Where the shard sends the finished request (the connection's reply
+  // channel, or a private channel for STATS fan-out probes).
+  cml::Channel<std::uint64_t>* reply = nullptr;
+  bool fin = false;  // writer sentinel: no request will carry seq >= this->seq
+  double submit_us = 0;  // platform clock at submission (latency metrics)
+  // STATS probe results (filled by the shard).
+  std::size_t stat_keys = 0;
+  std::size_t stat_bytes = 0;
+  std::uint64_t stat_ops = 0;
+};
+
+struct ShardStats {
+  std::size_t keys = 0;
+  std::size_t bytes = 0;
+  std::uint64_t ops = 0;
+  int shards = 0;
+};
+
+class KvService {
+ public:
+  KvService(threads::Scheduler& sched, KvConfig cfg = {});
+  ~KvService();
+  KvService(const KvService&) = delete;
+  KvService& operator=(const KvService&) = delete;
+
+  // Fork the shard owner threads.  Must be called before submit().
+  void start();
+  // Drain-stop every shard thread and join them.  Outstanding submitters
+  // must have completed; the service is unusable afterwards.
+  void stop();
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  int shard_of(std::string_view key) const;
+
+  // Hand `r` to its owning shard (a rendezvous send: parks the caller until
+  // the shard accepts, which is the service's only backpressure).  The shard
+  // encodes the reply into r->out and sends r on r->reply.  Point ops only
+  // (GET/SET/DEL): RANGE and STATS are multi-shard and fan out via
+  // submit_to.
+  void submit(KvReq* r);
+
+  // Route `r` to one specific shard regardless of key: the scatter half of
+  // RANGE and STATS fan-outs.
+  void submit_to(int shard, KvReq* r);
+
+  // Aggregate store sizes via a STATS probe round-trip to every shard.
+  // Callable from any MLthread while the service is running.
+  ShardStats stats();
+
+  threads::Scheduler& scheduler() { return sched_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<cml::Channel<std::uint64_t>> ch;
+    std::unique_ptr<ShardStore> store;
+    std::uint64_t salt = 0;   // rendezvous-hashing weight seed
+    int owner_tid = -1;       // the one thread allowed to touch `store`
+    std::uint64_t ops = 0;    // operations applied (owner-only, no atomics)
+  };
+
+  void shard_loop(int idx);
+  void apply(Shard& sh, KvReq* r);
+
+  threads::Scheduler& sched_;
+  KvConfig cfg_;
+  std::vector<Shard> shards_;
+  std::unique_ptr<threads::CountdownLatch> joined_;
+  bool started_ = false;
+};
+
+}  // namespace mp::kv

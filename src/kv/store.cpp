@@ -1,0 +1,193 @@
+#include "kv/store.h"
+
+#include <new>
+
+namespace mp::kv {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+// One entry, shared by the hash chain and the skiplist.  The tower is a
+// flexible tail sized by `height` at allocation time, so a node costs one
+// allocation regardless of its level.
+struct ShardStore::Node {
+  std::string key;
+  std::string val;
+  Node* hnext = nullptr;  // hash-bucket chain
+  int height = 1;
+  Node* next[1];  // skiplist tower; really next[height]
+
+  static Node* make(std::string_view k, std::string_view v, int height) {
+    void* mem = ::operator new(sizeof(Node) +
+                               sizeof(Node*) * static_cast<std::size_t>(height - 1));
+    Node* n = new (mem) Node;
+    n->key.assign(k.data(), k.size());
+    n->val.assign(v.data(), v.size());
+    n->height = height;
+    for (int i = 0; i < height; i++) n->next[i] = nullptr;
+    return n;
+  }
+  static void destroy(Node* n) {
+    n->~Node();
+    ::operator delete(n);
+  }
+};
+
+ShardStore::ShardStore(std::uint64_t seed)
+    : buckets_(64, nullptr), rng_(seed | 1) {}
+
+ShardStore::~ShardStore() {
+  Node* n = heads_[0];
+  while (n != nullptr) {
+    Node* next = n->next[0];
+    Node::destroy(n);
+    n = next;
+  }
+}
+
+int ShardStore::random_height() {
+  // xorshift64; each extra level with probability 1/4 (classic skiplist
+  // geometry: ~1.33 pointers per node).
+  rng_ ^= rng_ << 13;
+  rng_ ^= rng_ >> 7;
+  rng_ ^= rng_ << 17;
+  int h = 1;
+  std::uint64_t bits = rng_;
+  while ((bits & 3) == 0 && h < kMaxHeight) {
+    h++;
+    bits >>= 2;
+  }
+  return h;
+}
+
+ShardStore::Node* ShardStore::find(std::string_view key) const {
+  const std::size_t b = fnv1a(key) & (buckets_.size() - 1);
+  for (Node* n = buckets_[b]; n != nullptr; n = n->hnext) {
+    if (n->key == key) return n;
+  }
+  return nullptr;
+}
+
+void ShardStore::rehash() {
+  std::vector<Node*> bigger(buckets_.size() * 2, nullptr);
+  // Walk the bottom skiplist level: every node, in order, exactly once.
+  for (Node* n = heads_[0]; n != nullptr; n = n->next[0]) {
+    const std::size_t b = fnv1a(n->key) & (bigger.size() - 1);
+    n->hnext = bigger[b];
+    bigger[b] = n;
+  }
+  buckets_.swap(bigger);
+}
+
+bool ShardStore::set(std::string_view key, std::string_view value) {
+  if (Node* n = find(key)) {
+    bytes_ += value.size();
+    bytes_ -= n->val.size();
+    n->val.assign(value.data(), value.size());
+    return false;
+  }
+  // Splice a fresh node into the skiplist: the standard descent, resuming
+  // each level's scan from where the level above stopped.
+  Node* update[kMaxHeight];
+  Node* prev = nullptr;
+  for (int lvl = height_ - 1; lvl >= 0; lvl--) {
+    Node* cur = prev == nullptr ? heads_[lvl] : prev->next[lvl];
+    while (cur != nullptr && cur->key < key) {
+      prev = cur;
+      cur = cur->next[lvl];
+    }
+    update[lvl] = prev;
+  }
+  const int h = random_height();
+  Node* n = Node::make(key, value, h);
+  if (h > height_) {
+    for (int lvl = height_; lvl < h; lvl++) update[lvl] = nullptr;
+    height_ = h;
+  }
+  for (int lvl = 0; lvl < h; lvl++) {
+    Node** link = update[lvl] == nullptr ? &heads_[lvl] : &update[lvl]->next[lvl];
+    n->next[lvl] = *link;
+    *link = n;
+  }
+  const std::size_t b = fnv1a(key) & (buckets_.size() - 1);
+  n->hnext = buckets_[b];
+  buckets_[b] = n;
+  size_++;
+  bytes_ += key.size() + value.size();
+  if (size_ > buckets_.size()) rehash();
+  return true;
+}
+
+const std::string* ShardStore::get(std::string_view key) const {
+  const Node* n = find(key);
+  return n == nullptr ? nullptr : &n->val;
+}
+
+bool ShardStore::del(std::string_view key) {
+  // Unlink from the hash chain first (also the existence check).
+  const std::size_t b = fnv1a(key) & (buckets_.size() - 1);
+  Node** hlink = &buckets_[b];
+  Node* n = nullptr;
+  while (*hlink != nullptr) {
+    if ((*hlink)->key == key) {
+      n = *hlink;
+      *hlink = n->hnext;
+      break;
+    }
+    hlink = &(*hlink)->hnext;
+  }
+  if (n == nullptr) return false;
+  // Unlink every tower level (same descent as set's splice scan).
+  Node* update[kMaxHeight];
+  Node* prev = nullptr;
+  for (int lvl = height_ - 1; lvl >= 0; lvl--) {
+    Node* cur = prev == nullptr ? heads_[lvl] : prev->next[lvl];
+    while (cur != nullptr && cur->key < key) {
+      prev = cur;
+      cur = cur->next[lvl];
+    }
+    update[lvl] = prev;
+  }
+  for (int lvl = 0; lvl < n->height; lvl++) {
+    Node** link = update[lvl] == nullptr ? &heads_[lvl] : &update[lvl]->next[lvl];
+    if (*link == n) *link = n->next[lvl];
+  }
+  while (height_ > 1 && heads_[height_ - 1] == nullptr) height_--;
+  size_--;
+  bytes_ -= n->key.size() + n->val.size();
+  Node::destroy(n);
+  return true;
+}
+
+void ShardStore::range(std::string_view lo, std::string_view hi, long limit,
+                       const std::function<bool(std::string_view,
+                                                std::string_view)>& fn) const {
+  if (limit == 0) return;
+  // Descend to the first node with key >= lo.
+  Node* prev = nullptr;
+  for (int lvl = height_ - 1; lvl >= 0; lvl--) {
+    Node* cur = prev == nullptr ? heads_[lvl] : prev->next[lvl];
+    while (cur != nullptr && cur->key < lo) {
+      prev = cur;
+      cur = cur->next[lvl];
+    }
+  }
+  Node* n = prev == nullptr ? heads_[0] : prev->next[0];
+  long emitted = 0;
+  while (n != nullptr && n->key <= hi) {
+    if (!fn(n->key, n->val)) return;
+    if (limit > 0 && ++emitted >= limit) return;
+    n = n->next[0];
+  }
+}
+
+}  // namespace mp::kv

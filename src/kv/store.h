@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// The per-shard ordered store of the mp::kv service (docs/KV.md): a chained
+// hash index for O(1) point operations layered over a skiplist for ordered
+// RANGE scans, with one node per key living in both structures at once
+// (hash chain link + skiplist towers), so SET/DEL maintain both views with
+// a single allocation.
+//
+// Deliberately lock-free BY OWNERSHIP, not by atomics: a ShardStore is only
+// ever touched by the one MLthread that owns its shard (KvService routes
+// every request to that thread over a CML channel), so there is nothing to
+// synchronize — plain loads and stores, no CAS, no fences.  The service
+// layer asserts the single-owner discipline on every access.
+//
+// Determinism: skiplist tower heights come from a private xorshift stream
+// seeded per shard, so a given sequence of operations builds bit-identical
+// structure on every backend — including the simulator, where the fuzz
+// scenarios depend on it.
+
+namespace mp::kv {
+
+class ShardStore {
+ public:
+  explicit ShardStore(std::uint64_t seed);
+  ~ShardStore();
+  ShardStore(const ShardStore&) = delete;
+  ShardStore& operator=(const ShardStore&) = delete;
+
+  // Insert or overwrite.  Returns true when the key is new.
+  bool set(std::string_view key, std::string_view value);
+  // nullptr on a miss; the pointer is valid until the key is next mutated.
+  const std::string* get(std::string_view key) const;
+  // Returns true when the key existed.
+  bool del(std::string_view key);
+  // Visit entries with lo <= key <= hi in ascending key order, at most
+  // `limit` of them (limit < 0 = unbounded).  `fn` returns false to stop.
+  void range(std::string_view lo, std::string_view hi, long limit,
+             const std::function<bool(std::string_view key,
+                                      std::string_view value)>& fn) const;
+
+  std::size_t size() const { return size_; }
+  // Payload bytes resident (keys + values), for STATS and capacity metrics.
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  static constexpr int kMaxHeight = 16;
+
+  struct Node;
+
+  Node* find(std::string_view key) const;
+  int random_height();
+  void rehash();
+
+  Node* heads_[kMaxHeight] = {};   // skiplist level heads
+  int height_ = 1;                 // tallest tower in use
+  std::vector<Node*> buckets_;     // hash index (power-of-two size)
+  std::size_t size_ = 0;
+  std::size_t bytes_ = 0;
+  std::uint64_t rng_;
+};
+
+}  // namespace mp::kv

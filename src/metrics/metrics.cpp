@@ -24,7 +24,11 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "cml_offers_parked",
     "io_wakeups",            "io_dispatch_batches",   "io_parked",
     "io_notifies",           "io_eintr_retries",      "io_bytes_read",
-    "io_bytes_written",      "trace_dropped",
+    "io_bytes_written",
+    "kv_gets",               "kv_sets",               "kv_dels",
+    "kv_ranges",             "kv_stats",              "kv_hits",
+    "kv_misses",             "kv_proto_errors",       "kv_conns",
+    "trace_dropped",
 };
 
 constexpr const char* kHistoNames[kNumHistos] = {
@@ -40,6 +44,14 @@ constexpr const char* kHistoNames[kNumHistos] = {
     "sched_wake_to_dispatch_us",
     "io_wait_us",
     "io_batch_wakeups",
+    "kv_queue_us_get",
+    "kv_queue_us_set",
+    "kv_queue_us_del",
+    "kv_queue_us_range",
+    "kv_req_us_get",
+    "kv_req_us_set",
+    "kv_req_us_del",
+    "kv_req_us_range",
 };
 
 // Slot index for the calling thread; < 0 until bound or lazily assigned.

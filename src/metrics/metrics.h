@@ -87,6 +87,16 @@ enum class Counter : std::uint32_t {
   kIoEintrRetries,     // raw syscalls transparently restarted after EINTR
   kIoBytesRead,        // payload bytes moved by stream reads
   kIoBytesWritten,     // payload bytes moved by stream writes
+  // KV service (kv/service.h, kv/server.h).
+  kKvGets,         // GET operations applied by shard owners
+  kKvSets,         // SET operations applied
+  kKvDels,         // DEL operations applied
+  kKvRanges,       // RANGE requests served (one per client request)
+  kKvStats,        // per-shard STATS probes applied
+  kKvHits,         // GETs that found the key
+  kKvMisses,       // GETs that missed
+  kKvProtoErrors,  // malformed frames answered with -ERR
+  kKvConns,        // connections accepted into the serving loop
   // Scheduling-event tracer (threads/trace.h).
   kTraceDropped,  // trace events overwritten in the ring buffer
   kNumCounters,
@@ -111,6 +121,17 @@ enum class Histo : std::uint32_t {
   kSchedWakeToDispatchUs,  // wake_one claim to next dispatch on the woken proc
   kIoWaitUs,       // parked time per woken I/O waiter (microseconds)
   kIoBatchWakeups,  // waiters woken per non-empty reactor dispatch pass
+  // KV service: per-op-kind queueing delay (submit to shard dequeue) and
+  // end-to-end service time (submit to in-order reply dequeue at the
+  // connection writer), microseconds.
+  kKvQueueUsGet,
+  kKvQueueUsSet,
+  kKvQueueUsDel,
+  kKvQueueUsRange,
+  kKvReqUsGet,
+  kKvReqUsSet,
+  kKvReqUsDel,
+  kKvReqUsRange,
   kNumHistos,
 };
 inline constexpr std::size_t kNumHistos =

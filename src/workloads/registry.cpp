@@ -11,11 +11,17 @@ std::unique_ptr<Workload> make_workload(const std::string& name, int procs) {
   if (name == "mm") return make_mm();
   if (name == "seq") return make_seq(procs);
   if (name == "net_echo") return make_net_echo();
+  if (name == "kv") {
+    KvWorkloadOptions opts;
+    opts.shards = procs;
+    return make_kv(opts);
+  }
   arch::panic("unknown workload '%s'", name.c_str());
 }
 
 std::vector<std::string> workload_names() {
-  return {"allpairs", "mst", "abisort", "simple", "mm", "seq", "net_echo"};
+  return {"allpairs", "mst",     "abisort", "simple",
+          "mm",       "seq",     "net_echo", "kv"};
 }
 
 }  // namespace mp::workloads

@@ -58,6 +58,22 @@ struct NetEchoOptions {
   bool tcp = false;
 };
 std::unique_ptr<Workload> make_net_echo(NetEchoOptions opts = {});
+// `kv`: the sharded KV service (src/kv) under a pipelined mixed-op load.
+// Each connection owns a disjoint key prefix and replays a deterministic
+// script (SET/GET/DEL/RANGE + a PING) with `window` requests in flight,
+// verifying every reply byte-for-byte against a private sequential model.
+// Virtual-pipe transport by default; tcp for loopback sockets (native/uni).
+struct KvWorkloadOptions {
+  int shards = 0;       // 0 = one shard per proc
+  int connections = 8;
+  int ops = 48;         // scripted operations per connection
+  int window = 8;       // pipelined requests in flight per connection
+  int keys = 24;        // distinct keys per connection's prefix
+  int value_bytes = 32;
+  bool tcp = false;
+  std::uint64_t seed = 1993;
+};
+std::unique_ptr<Workload> make_kv(KvWorkloadOptions opts = {});
 
 std::unique_ptr<Workload> make_workload(const std::string& name, int procs);
 std::vector<std::string> workload_names();
