@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "cont/cont.h"
+#include "threads/scheduler.h"
+#include "threads/sync.h"
+
+// An asynchronous buffered channel (CML's mailbox): send enqueues and
+// returns immediately — it never parks the sender waiting for a receiver —
+// while recv blocks (the thread, never the proc) until a message is
+// available.  Messages from one sender are received in the order they were
+// sent; messages from different senders interleave in enqueue order.
+//
+// This is the complement of cml::Channel's rendezvous discipline, for the
+// cases where the *sender* must not inherit the receiver's pace: a shard
+// owner delivering replies to connection writers (src/kv) must never be
+// parked by one stalled connection, or that connection head-of-line blocks
+// the shard for everyone else.  The cost of the decoupling is that the
+// buffer is unbounded — a mailbox provides no backpressure, so the
+// producer-side protocol must bound what can be outstanding (kv bounds it
+// by the rendezvous on the *request* channel: a connection can only owe as
+// many replies as requests it managed to submit).
+//
+// Synthesized from Mutex + CondVar per section 3.3's recipe, so waiting
+// receivers park through the scheduler and cost nothing.  Not selective:
+// a mailbox is not an Event and cannot appear in a choose(); use a
+// rendezvous Channel when selectivity matters.
+
+namespace mp::cml {
+
+template <typename T>
+class Mailbox {
+  // Buffered values are invisible to the GC between send and recv; only
+  // non-traced payloads (raw words, pointers to C++ objects) are safe.
+  static_assert(!cont::is_gc_traced<T>::value,
+                "Mailbox buffers values outside any GC root; "
+                "use a rendezvous Channel for GC-traced payloads");
+
+ public:
+  explicit Mailbox(threads::Scheduler& sched) : mu_(sched), cv_(sched) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  // Enqueue `v` and return.  Never blocks beyond the internal mutex.
+  void send(const T& v) {
+    mu_.lock();
+    q_.push_back(v);
+    cv_.signal();
+    mu_.unlock();
+  }
+
+  // Dequeue the oldest message, parking this thread until one exists.
+  T recv() {
+    mu_.lock();
+    while (q_.empty()) cv_.wait(mu_);
+    T v = std::move(q_.front());
+    q_.pop_front();
+    mu_.unlock();
+    return v;
+  }
+
+  // Dequeue without blocking: false when the mailbox is empty.
+  bool try_recv(T* out) {
+    mu_.lock();
+    if (q_.empty()) {
+      mu_.unlock();
+      return false;
+    }
+    *out = std::move(q_.front());
+    q_.pop_front();
+    mu_.unlock();
+    return true;
+  }
+
+  // Momentary size (racy under concurrent senders; for tests and metrics).
+  std::size_t size() {
+    mu_.lock();
+    const std::size_t n = q_.size();
+    mu_.unlock();
+    return n;
+  }
+
+ private:
+  threads::Mutex mu_;
+  threads::CondVar cv_;
+  std::deque<T> q_;
+};
+
+}  // namespace mp::cml

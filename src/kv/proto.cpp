@@ -124,7 +124,10 @@ bool FrameParser::parse_line(std::string_view line, Request* out) {
     long limit = -1;
     if (ntok == 4) {
       std::uint64_t l = 0;
-      if (!parse_u64(tok[3], &l) || l > 1u << 20) return err("bad limit");
+      if (!parse_u64(tok[3], &l) ||
+          l > static_cast<std::uint64_t>(kMaxRangeResults)) {
+        return err("bad limit");
+      }
       limit = static_cast<long>(l);
     }
     *out = Request{};

@@ -37,6 +37,10 @@ inline constexpr std::size_t kMaxKeyBytes = 512;
 inline constexpr std::size_t kMaxValueBytes = 1u << 20;
 // A request line holds at most a verb + two keys + a limit.
 inline constexpr std::size_t kMaxLineBytes = 2 * kMaxKeyBytes + 64;
+// Ceiling on RANGE result pairs.  The parser rejects explicit limits above
+// it, and the server clamps the no-limit default (-1) to it, so one RANGE
+// can never materialize an unbounded slice of the store.
+inline constexpr long kMaxRangeResults = 1 << 20;
 
 enum class Op : std::uint8_t { kGet, kSet, kDel, kRange, kStats, kPing, kQuit };
 const char* op_name(Op op);

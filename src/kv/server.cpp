@@ -1,6 +1,7 @@
 #include "kv/server.h"
 
 #include <algorithm>
+#include <exception>
 #include <iterator>
 #include <map>
 #include <string>
@@ -8,6 +9,8 @@
 #include <vector>
 
 #include "arch/panic.h"
+#include "arch/sysio.h"
+#include "cml/mailbox.h"
 #include "metrics/metrics.h"
 
 namespace mp::kv {
@@ -30,7 +33,7 @@ bool req_histo(Op op, metrics::Histo* out) {
 // flush each contiguous run as one coalesced write.  Returns once the fin
 // sentinel's sequence number has been reached and everything before it is on
 // the wire.
-void writer_loop(KvService& svc, cml::Channel<std::uint64_t>& replies,
+void writer_loop(KvService& svc, cml::Mailbox<std::uint64_t>& replies,
                  io::Stream& out) {
   (void)svc;  // only read for the latency metric below
   std::map<std::uint64_t, KvReq*> pending;  // completed, awaiting their turn
@@ -78,7 +81,8 @@ void writer_loop(KvService& svc, cml::Channel<std::uint64_t>& replies,
         out.write_all(batch.data(), batch.size());
       } catch (...) {
         // The peer hung up with replies in flight; keep draining the
-        // channel (shards still hold pointers into it) but stop writing.
+        // mailbox (shards may still post into it, and every KvReq must be
+        // freed and counted toward fin_seq) but stop writing.
         peer_gone = true;
       }
     }
@@ -91,16 +95,16 @@ void writer_loop(KvService& svc, cml::Channel<std::uint64_t>& replies,
 void serve(KvService& svc, io::Stream in, io::Stream out, ServeOptions opts) {
   MPNJ_METRIC_COUNT(kKvConns, 1);
   threads::Scheduler& sched = svc.scheduler();
-  cml::Channel<std::uint64_t> replies(sched);
+  cml::Mailbox<std::uint64_t> replies(sched);
   threads::CountdownLatch writer_done(sched, 1);
   sched.fork([&] {
     writer_loop(svc, replies, out);
     writer_done.count_down();
   });
 
-  // Private channel for multi-shard fan-outs (RANGE, STATS probes): replies
-  // to scatter probes come back here, never through the writer.
-  cml::Channel<std::uint64_t> gather(sched);
+  // Private mailbox for multi-shard fan-outs (RANGE probes): replies to
+  // scatter probes come back here, never through the writer.
+  cml::Mailbox<std::uint64_t> gather(sched);
 
   // Reader-side direct answer: skip the shards but keep the sequence slot,
   // so pipelined replies stay in request order.
@@ -109,17 +113,51 @@ void serve(KvService& svc, io::Stream in, io::Stream out, ServeOptions opts) {
     auto* r = new KvReq;
     r->req = req;
     r->out = std::move(reply_bytes);
-    r->seq = next_seq++;
+    r->seq = next_seq;
     r->reply = &replies;
-    replies.send(reinterpret_cast<std::uint64_t>(r));
+    try {
+      replies.send(reinterpret_cast<std::uint64_t>(r));
+    } catch (...) {
+      delete r;
+      throw;
+    }
+    // Only after the enqueue: a seq allocated but never delivered would be
+    // a permanent gap in the writer's reorder window, and the fin handshake
+    // would never complete.
+    next_seq++;
+  };
+
+  // The shutdown handshake, which must run on EVERY exit path: the fin
+  // sentinel tells the writer no request will ever carry seq >= next_seq,
+  // and the await guarantees the writer has retired every outstanding KvReq
+  // before the stack-allocated mailboxes and latch above are destroyed.
+  // Skipping it (e.g. by unwinding on a socket error) would free channels
+  // that the writer thread and in-flight shard replies still reference.
+  auto finish = [&] {
+    auto* fin = new KvReq;
+    fin->fin = true;
+    fin->seq = next_seq;
+    replies.send(reinterpret_cast<std::uint64_t>(fin));
+    writer_done.await();
+    in.close();
+    out.close();
   };
 
   FrameParser parser;
   std::vector<char> chunk(opts.read_chunk > 0 ? opts.read_chunk : 4096);
   Request req;
   bool quitting = false;
+  try {
   while (!quitting) {
-    const std::size_t n = in.read_some(chunk.data(), chunk.size());
+    std::size_t n = 0;
+    try {
+      n = in.read_some(chunk.data(), chunk.size());
+    } catch (const arch::SysError&) {
+      // Socket-level failure — e.g. ECONNRESET when the peer closed with
+      // unread pipelined replies (a TCP RST, not the clean EOF a pipe
+      // gives).  Treat it exactly like a disconnect.
+      break;
+    }
     if (n == 0) break;  // peer disconnected
     parser.feed(chunk.data(), n);
     while (parser.next(&req)) {
@@ -151,25 +189,42 @@ void serve(KvService& svc, io::Stream in, io::Stream out, ServeOptions opts) {
 #endif
           // Scatter: rendezvous hashing spreads adjacent keys across
           // shards, so every shard owns a slice of [lo, hi].  Probe them
-          // all, then merge the sorted slices and apply the limit.
+          // all, then merge the sorted slices and apply the limit.  The
+          // no-limit default (-1) is clamped to the same ceiling the parser
+          // enforces on explicit limits, so one RANGE over a large store
+          // cannot materialize unbounded payload copies (per-shard slices,
+          // the merged vector, and the encoded reply).
+          const long limit =
+              req.limit < 0 ? kMaxRangeResults
+                            : std::min(req.limit, kMaxRangeResults);
           const int n_shards = svc.shards();
           std::vector<KvReq> probes(static_cast<std::size_t>(n_shards));
           for (int s = 0; s < n_shards; s++) {
             probes[static_cast<std::size_t>(s)].req = req;
+            probes[static_cast<std::size_t>(s)].req.limit = limit;
             probes[static_cast<std::size_t>(s)].reply = &gather;
             svc.submit_to(s, &probes[static_cast<std::size_t>(s)]);
           }
           std::vector<std::pair<std::string, std::string>> merged;
+          // Gather ALL probes before anything can unwind: shards hold
+          // pointers into the stack-allocated `probes` until each posts
+          // back, so a merge failure must not abandon outstanding probes.
+          std::exception_ptr merge_err;
           for (int s = 0; s < n_shards; s++) {
             auto* p = reinterpret_cast<KvReq*>(gather.recv());
-            merged.insert(merged.end(),
-                          std::make_move_iterator(p->range_out.begin()),
-                          std::make_move_iterator(p->range_out.end()));
+            if (merge_err) continue;
+            try {
+              merged.insert(merged.end(),
+                            std::make_move_iterator(p->range_out.begin()),
+                            std::make_move_iterator(p->range_out.end()));
+            } catch (...) {
+              merge_err = std::current_exception();
+            }
           }
+          if (merge_err) std::rethrow_exception(merge_err);
           std::sort(merged.begin(), merged.end());
-          if (req.limit >= 0 &&
-              merged.size() > static_cast<std::size_t>(req.limit)) {
-            merged.resize(static_cast<std::size_t>(req.limit));
+          if (merged.size() > static_cast<std::size_t>(limit)) {
+            merged.resize(static_cast<std::size_t>(limit));
           }
           std::string e;
           encode_array_header(&e, merged.size() * 2);
@@ -203,9 +258,10 @@ void serve(KvService& svc, io::Stream in, io::Stream out, ServeOptions opts) {
         default: {
           auto* r = new KvReq;
           r->req = std::move(req);
-          r->seq = next_seq++;
+          r->seq = next_seq;
           r->reply = &replies;
           svc.submit(r);  // rendezvous: parks until the shard accepts
+          next_seq++;     // seq advances only once the shard owns the req
           req = Request{};
           break;
         }
@@ -213,16 +269,14 @@ void serve(KvService& svc, io::Stream in, io::Stream out, ServeOptions opts) {
       if (quitting) break;
     }
   }
+  } catch (...) {
+    // Unexpected failure mid-connection: run the shutdown handshake before
+    // unwinding (see `finish`), then let the error propagate.
+    finish();
+    throw;
+  }
 
-  // fin: no request with seq >= next_seq will arrive; the writer drains the
-  // outstanding window and exits.
-  auto* fin = new KvReq;
-  fin->fin = true;
-  fin->seq = next_seq;
-  replies.send(reinterpret_cast<std::uint64_t>(fin));
-  writer_done.await();
-  in.close();
-  out.close();
+  finish();
 }
 
 }  // namespace mp::kv

@@ -13,14 +13,20 @@
 //    sequence number, and hands it to its owning shard via KvService::submit
 //    (a rendezvous send — the only backpressure in the system);
 //  - the writer receives finished requests on the connection's reply
-//    channel, reorders them back into submission order (pipelined requests
-//    fan out across shards and complete in any order), and flushes each
-//    contiguous run with one coalesced write_all.
+//    mailbox (an asynchronous buffered channel: shards post replies without
+//    ever parking on a slow connection), reorders them back into submission
+//    order (pipelined requests fan out across shards and complete in any
+//    order), and flushes each contiguous run with one coalesced write_all.
 //
 // Protocol errors, PING, and STATS never reach a shard: the reader answers
-// them itself, but still routes the encoded reply through the reply channel
+// them itself, but still routes the encoded reply through the reply mailbox
 // under the same sequence numbering, so pipelined replies stay in request
 // order no matter what produced them.
+//
+// A stream error on the read side (ECONNRESET from a peer that closed with
+// unread pipelined replies, say) is treated exactly like a disconnect: the
+// connection drains its in-flight requests and serve() returns normally
+// rather than letting the exception unwind past live channels.
 
 namespace mp::kv {
 

@@ -125,7 +125,7 @@ ShardStats KvService::stats() {
   // One probe per shard through the same channel as every other request, so
   // the counts are exact as of each shard's dequeue (no cross-thread reads
   // of owner-only state).
-  cml::Channel<std::uint64_t> back(sched_);
+  cml::Mailbox<std::uint64_t> back(sched_);
   for (Shard& sh : shards_) {
     KvReq probe;
     probe.req.op = Op::kStats;
@@ -158,6 +158,10 @@ void KvService::shard_loop(int idx) {
     }
 #endif
     apply(sh, r);
+    // Asynchronous delivery: the mailbox enqueue never parks, so a stalled
+    // connection writer (peer stopped reading, write_all parked on a full
+    // socket buffer) cannot head-of-line block this shard for every other
+    // connection it owes a reply to.
     r->reply->send(reinterpret_cast<std::uint64_t>(r));
   }
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cml/cml.h"
+#include "cml/mailbox.h"
 #include "kv/proto.h"
 #include "kv/store.h"
 #include "threads/scheduler.h"
@@ -43,9 +44,12 @@ struct KvReq {
   // across shards and encodes — see server.cpp).
   std::vector<std::pair<std::string, std::string>> range_out;
   std::uint64_t seq = 0;  // per-connection submission order
-  // Where the shard sends the finished request (the connection's reply
-  // channel, or a private channel for STATS fan-out probes).
-  cml::Channel<std::uint64_t>* reply = nullptr;
+  // Where the shard delivers the finished request (the connection's reply
+  // mailbox, or a private mailbox for RANGE/STATS fan-out probes).  A
+  // mailbox, not a rendezvous channel, on purpose: delivery is asynchronous,
+  // so a shard owner is never parked by one connection whose writer has
+  // stalled — replies to other connections keep flowing.
+  cml::Mailbox<std::uint64_t>* reply = nullptr;
   bool fin = false;  // writer sentinel: no request will carry seq >= this->seq
   double submit_us = 0;  // platform clock at submission (latency metrics)
   // STATS probe results (filled by the shard).
@@ -79,7 +83,7 @@ class KvService {
 
   // Hand `r` to its owning shard (a rendezvous send: parks the caller until
   // the shard accepts, which is the service's only backpressure).  The shard
-  // encodes the reply into r->out and sends r on r->reply.  Point ops only
+  // encodes the reply into r->out and posts r to r->reply.  Point ops only
   // (GET/SET/DEL): RANGE and STATS are multi-shard and fan out via
   // submit_to.
   void submit(KvReq* r);

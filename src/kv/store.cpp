@@ -6,12 +6,26 @@ namespace mp::kv {
 
 namespace {
 
-std::uint64_t fnv1a(std::string_view s) {
-  std::uint64_t h = 1469598103934665603ull;
+// FNV-1a with a salted basis: the per-store seed keeps the bucket mapping
+// unpredictable, so crafted key sets can't all land in one chain and turn
+// point ops into O(n) scans (rehash grows by total size, never by chain
+// length, so it would not rescue a seeded collision attack).
+std::uint64_t fnv1a(std::uint64_t seed, std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull ^ seed;
   for (const char c : s) {
     h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
   }
   return h;
+}
+
+// splitmix64, so even adjacent raw seeds salt the basis with well-mixed
+// bits (the routing layer hands ShardStore already-mixed seeds, but the
+// store shouldn't rely on that).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -43,7 +57,7 @@ struct ShardStore::Node {
 };
 
 ShardStore::ShardStore(std::uint64_t seed)
-    : buckets_(64, nullptr), rng_(seed | 1) {}
+    : buckets_(64, nullptr), rng_(seed | 1), hash_seed_(mix64(seed)) {}
 
 ShardStore::~ShardStore() {
   Node* n = heads_[0];
@@ -70,7 +84,7 @@ int ShardStore::random_height() {
 }
 
 ShardStore::Node* ShardStore::find(std::string_view key) const {
-  const std::size_t b = fnv1a(key) & (buckets_.size() - 1);
+  const std::size_t b = fnv1a(hash_seed_, key) & (buckets_.size() - 1);
   for (Node* n = buckets_[b]; n != nullptr; n = n->hnext) {
     if (n->key == key) return n;
   }
@@ -81,7 +95,7 @@ void ShardStore::rehash() {
   std::vector<Node*> bigger(buckets_.size() * 2, nullptr);
   // Walk the bottom skiplist level: every node, in order, exactly once.
   for (Node* n = heads_[0]; n != nullptr; n = n->next[0]) {
-    const std::size_t b = fnv1a(n->key) & (bigger.size() - 1);
+    const std::size_t b = fnv1a(hash_seed_, n->key) & (bigger.size() - 1);
     n->hnext = bigger[b];
     bigger[b] = n;
   }
@@ -118,7 +132,7 @@ bool ShardStore::set(std::string_view key, std::string_view value) {
     n->next[lvl] = *link;
     *link = n;
   }
-  const std::size_t b = fnv1a(key) & (buckets_.size() - 1);
+  const std::size_t b = fnv1a(hash_seed_, key) & (buckets_.size() - 1);
   n->hnext = buckets_[b];
   buckets_[b] = n;
   size_++;
@@ -134,7 +148,7 @@ const std::string* ShardStore::get(std::string_view key) const {
 
 bool ShardStore::del(std::string_view key) {
   // Unlink from the hash chain first (also the existence check).
-  const std::size_t b = fnv1a(key) & (buckets_.size() - 1);
+  const std::size_t b = fnv1a(hash_seed_, key) & (buckets_.size() - 1);
   Node** hlink = &buckets_[b];
   Node* n = nullptr;
   while (*hlink != nullptr) {

@@ -64,6 +64,9 @@ class ShardStore {
   std::size_t size_ = 0;
   std::size_t bytes_ = 0;
   std::uint64_t rng_;
+  // Per-store salt folded into the bucket hash so collision sets cannot be
+  // precomputed from the (public) hash function over attacker-chosen keys.
+  std::uint64_t hash_seed_;
 };
 
 }  // namespace mp::kv

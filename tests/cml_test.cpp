@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cml/cml.h"
+#include "cml/mailbox.h"
 #include "mp/native_platform.h"
 #include "mp/sim_platform.h"
 
@@ -345,6 +346,48 @@ TEST_P(CmlTest, BothSidesSelecting) {
     latch.await();
   });
   EXPECT_EQ(transfers.load(), 80);
+}
+
+// ---------- Mailbox: the asynchronous buffered channel ----------
+
+TEST_P(CmlTest, MailboxSendNeverBlocksAndRecvDrainsInOrder) {
+  auto p = make(1);
+  run(*p, [&](Scheduler& s) {
+    mp::cml::Mailbox<std::uint64_t> mb(s);
+    // With no receiver anywhere, every send must return immediately — on
+    // one proc, a rendezvous send here would deadlock the whole run.
+    for (std::uint64_t i = 0; i < 100; i++) mb.send(i);
+    EXPECT_EQ(mb.size(), 100u);
+    for (std::uint64_t i = 0; i < 100; i++) EXPECT_EQ(mb.recv(), i);
+    std::uint64_t v = 0;
+    EXPECT_FALSE(mb.try_recv(&v));
+    mb.send(7);
+    ASSERT_TRUE(mb.try_recv(&v));
+    EXPECT_EQ(v, 7u);
+  });
+}
+
+TEST_P(CmlTest, MailboxWakesAParkedReceiver) {
+  auto p = make(2);
+  std::atomic<long> sum{0};
+  run(*p, [&](Scheduler& s) {
+    mp::cml::Mailbox<std::uint64_t> mb(s);
+    CountdownLatch done(s, 1);
+    s.fork([&] {
+      // Parks until the producers below post.
+      for (int i = 0; i < 60; i++) sum.fetch_add(static_cast<long>(mb.recv()));
+      done.count_down();
+    });
+    for (int t = 0; t < 3; t++) {
+      s.fork([&, t] {
+        for (int i = 0; i < 20; i++) {
+          mb.send(static_cast<std::uint64_t>(t * 20 + i));
+        }
+      });
+    }
+    done.await();
+  });
+  EXPECT_EQ(sum.load(), 59L * 60 / 2);
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, CmlTest,

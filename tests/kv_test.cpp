@@ -6,11 +6,16 @@
 // the kv workload's exact verification + cross-schedule determinism.
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "cml/mailbox.h"
 
 #include "io/stream.h"
 #include "kv/client.h"
@@ -33,6 +38,7 @@ using mp::io::Stream;
 using mp::kv::FrameParser;
 using mp::kv::KvClient;
 using mp::kv::KvConfig;
+using mp::kv::KvReq;
 using mp::kv::KvService;
 using mp::kv::Op;
 using mp::kv::Reply;
@@ -561,6 +567,104 @@ TEST(KvServe, AbruptDisconnectWithRequestsInFlightDrainsCleanly) {
     out.write_all(wire.data(), wire.size());
     client_end.close();  // hang up without reading a single reply
     served.await();      // serve() must still terminate
+    svc.stop();
+  });
+}
+
+TEST(KvServe, NativeTcpRstWithUnreadRepliesStillServes) {
+  // A peer that pipelines requests, never reads a reply, and closes with
+  // SO_LINGER zero hits the server with a TCP RST instead of a clean EOF:
+  // the server's next read raises ECONNRESET.  serve() must treat that as
+  // a disconnect — run its shutdown handshake and return — and the service
+  // must keep serving fresh connections afterwards.
+  auto p = native_platform(2);
+  run_threads(*p, [](Scheduler& sched) {
+    KvService svc(sched);
+    svc.start();
+    mp::io::Reactor reactor(sched);
+    auto listener = mp::io::Listener::tcp(reactor, 0, 16);
+    CountdownLatch served(sched, 1);
+    sched.fork([&] {
+      Stream s = listener.accept();
+      mp::kv::serve(svc, Duplex{s, s});
+      served.count_down();
+    });
+
+    // Raw loopback socket so we control the close semantics exactly.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(listener.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    std::string wire;
+    for (int i = 0; i < 64; i++) {
+      mp::kv::encode_set(&wire, "rst:" + std::to_string(i), "x");
+      mp::kv::encode_get(&wire, "rst:" + std::to_string(i));
+    }
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+    const struct linger lg = {1, 0};  // close() discards and sends RST
+    ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg)), 0);
+    ::close(fd);
+    served.await();  // must not hang and must not kill the forked thread
+
+    // The reset connection must not have poisoned the service.
+    CountdownLatch served2(sched, 1);
+    sched.fork([&] {
+      Stream s = listener.accept();
+      mp::kv::serve(svc, Duplex{s, s});
+      served2.count_down();
+    });
+    Stream c = Stream::connect_tcp(reactor, listener.port());
+    KvClient cli(c, c);
+    EXPECT_TRUE(cli.set("post-rst", "ok"));
+    std::string v;
+    EXPECT_TRUE(cli.get("post-rst", &v));
+    EXPECT_EQ(v, "ok");
+    cli.quit();
+    served2.await();
+    svc.stop();
+    listener.close();
+  });
+}
+
+TEST(KvService, StalledReplyConsumerDoesNotBlockTheShard) {
+  // Reply delivery is a mailbox post, not a rendezvous: a connection whose
+  // writer has stopped draining (peer reads nothing, write_all parked) must
+  // not park the shard owner, or it would head-of-line block every other
+  // connection that shard owes a reply to.  With rendezvous replies this
+  // test deadlocks on the first undrained request.
+  auto p = sim_platform(2);
+  run_threads(*p, [](Scheduler& sched) {
+    KvConfig cfg;
+    cfg.shards = 1;  // one shard owns every key: maximum interference
+    KvService svc(sched, cfg);
+    svc.start();
+    mp::cml::Mailbox<std::uint64_t> stalled(sched);
+    std::vector<KvReq> parked(8);
+    for (int i = 0; i < 8; i++) {
+      parked[static_cast<std::size_t>(i)].req.op = Op::kSet;
+      parked[static_cast<std::size_t>(i)].req.key = "s:" + std::to_string(i);
+      parked[static_cast<std::size_t>(i)].req.value = "v";
+      parked[static_cast<std::size_t>(i)].reply = &stalled;
+      svc.submit(&parked[static_cast<std::size_t>(i)]);
+    }
+    // Nobody has drained `stalled`, yet the same shard keeps serving.
+    mp::cml::Mailbox<std::uint64_t> live(sched);
+    KvReq q;
+    q.req.op = Op::kGet;
+    q.req.key = "s:3";
+    q.reply = &live;
+    svc.submit(&q);
+    auto* done = reinterpret_cast<KvReq*>(live.recv());
+    EXPECT_EQ(done, &q);
+    EXPECT_FALSE(q.out.empty());  // the shard applied and encoded the GET
+    // Drain the stalled replies before their stack frames go away.
+    for (int i = 0; i < 8; i++) (void)stalled.recv();
     svc.stop();
   });
 }
