@@ -61,38 +61,47 @@ int main() {
     CountdownLatch servers_done(s, kClients);
     CountdownLatch clients_done(s, kClients);
 
+    // Connection threads spend their lives parked on channels or in the
+    // reactor; small stack slots keep a big fleet cheap.
+    const auto conn_opts = Scheduler::SpawnOpts{}.with_stack(
+        mp::cont::StackClass::kSmall);
     s.fork([&] {  // acceptor: one server pair per connection
       for (int i = 0; i < kClients; i++) {
         Stream conn = listener.accept();
         auto lines = std::make_shared<Channel<std::uint64_t>>(s);
         auto replies = std::make_shared<Channel<std::uint64_t>>(s);
-        s.fork([lines, replies] {  // worker: uppercase each line
-          for (;;) {
-            auto* line = reinterpret_cast<std::string*>(lines->recv());
-            const bool last = line->empty();
-            for (char& ch : *line) {
-              ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
-            }
-            replies->send(reinterpret_cast<std::uint64_t>(line));
-            if (last) return;
-          }
-        });
-        s.fork([conn, lines, replies, &servers_done]() mutable {  // framing
-          for (;;) {
-            auto* line = new std::string(read_line(conn));
-            lines->send(reinterpret_cast<std::uint64_t>(line));
-            auto* reply = reinterpret_cast<std::string*>(replies->recv());
-            const bool last = reply->empty();
-            if (!last) {
-              *reply += '\n';
-              conn.write_all(reply->data(), reply->size());
-            }
-            delete reply;
-            if (last) break;
-          }
-          conn.close();
-          servers_done.count_down();
-        });
+        s.fork(
+            [lines, replies] {  // worker: uppercase each line
+              for (;;) {
+                auto* line = reinterpret_cast<std::string*>(lines->recv());
+                const bool last = line->empty();
+                for (char& ch : *line) {
+                  ch = static_cast<char>(
+                      std::toupper(static_cast<unsigned char>(ch)));
+                }
+                replies->send(reinterpret_cast<std::uint64_t>(line));
+                if (last) return;
+              }
+            },
+            Scheduler::SpawnOpts{conn_opts}.with_name("echo-worker"));
+        s.fork(
+            [conn, lines, replies, &servers_done]() mutable {  // framing
+              for (;;) {
+                auto* line = new std::string(read_line(conn));
+                lines->send(reinterpret_cast<std::uint64_t>(line));
+                auto* reply = reinterpret_cast<std::string*>(replies->recv());
+                const bool last = reply->empty();
+                if (!last) {
+                  *reply += '\n';
+                  conn.write_all(reply->data(), reply->size());
+                }
+                delete reply;
+                if (last) break;
+              }
+              conn.close();
+              servers_done.count_down();
+            },
+            Scheduler::SpawnOpts{conn_opts}.with_name("echo-framing"));
       }
     });
 

@@ -119,35 +119,46 @@ int main(int argc, char** argv) {
     std::printf("kv server: %d shards on %d procs, 127.0.0.1:%u\n",
                 svc.shards(), procs, listener.port());
 
+    // Per-connection readers are mostly parked in the reactor; small stack
+    // slots keep a large connection fleet's memory footprint flat.
+    const auto conn_opts = Scheduler::SpawnOpts{}
+                               .with_stack(mp::cont::StackClass::kSmall)
+                               .with_name("kv-conn");
     if (serve_forever) {
       for (;;) {
         Stream conn = listener.accept();
-        s.fork([&svc, conn]() mutable {
-          mp::kv::serve(svc, Duplex{conn, conn});
-        });
+        s.fork(
+            [&svc, conn]() mutable { mp::kv::serve(svc, Duplex{conn, conn}); },
+            conn_opts);
       }
     }
 
     CountdownLatch servers_done(s, clients);
     CountdownLatch clients_done(s, clients);
-    s.fork([&] {
-      for (int i = 0; i < clients; i++) {
-        Stream conn = listener.accept();
-        s.fork([&svc, &servers_done, conn]() mutable {
-          mp::kv::serve(svc, Duplex{conn, conn});
-          servers_done.count_down();
-        });
-      }
-    });
+    s.fork(
+        [&] {
+          for (int i = 0; i < clients; i++) {
+            Stream conn = listener.accept();
+            s.fork(
+                [&svc, &servers_done, conn]() mutable {
+                  mp::kv::serve(svc, Duplex{conn, conn});
+                  servers_done.count_down();
+                },
+                conn_opts);
+          }
+        },
+        Scheduler::SpawnOpts{}.with_name("kv-accept"));
 
     for (int c = 0; c < clients; c++) {
-      s.fork([&, c] {
-        Stream conn = Stream::connect_tcp(reactor, listener.port());
-        KvClient cli(conn, conn);
-        client_fleet_member(cli, c, ops, failures);
-        served.fetch_add(1);
-        clients_done.count_down();
-      });
+      s.fork(
+          [&, c] {
+            Stream conn = Stream::connect_tcp(reactor, listener.port());
+            KvClient cli(conn, conn);
+            client_fleet_member(cli, c, ops, failures);
+            served.fetch_add(1);
+            clients_done.count_down();
+          },
+          Scheduler::SpawnOpts{}.with_name("kv-client"));
     }
 
     clients_done.await();

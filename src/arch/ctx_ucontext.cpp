@@ -45,7 +45,10 @@ void ctx_swap(Context& save, Context& to) noexcept {
 
 void ctx_make(Context& out, void* stack_base, std::size_t size,
               void (*fn)(void*), void* arg) {
-  MPNJ_CHECK(size >= 8192, "context stack too small");
+  // Same floor as the asm backend: the ucontext_t lives on the heap, so the
+  // stack only carries fn's frames.  The smallest pooled slot (8 KiB minus
+  // the 512-byte boot-record reserve) must pass.
+  MPNJ_CHECK(size >= 4096, "context stack too small");
   // Reserve a slot at the top of the stack for the (fn, arg) pair so the
   // context is self-contained; the ucontext_t itself is heap-allocated and
   // owned by `out`.

@@ -1,0 +1,177 @@
+#include "arch/stackfault.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mp::arch::stackfault {
+
+namespace {
+
+ArenaInfo g_arenas[kMaxArenas];
+std::atomic<int> g_num_arenas{0};
+
+struct sigaction g_prev_sa;
+std::atomic<bool> g_installed{false};
+
+// --- async-signal-safe message building ---
+
+void append_str(char* buf, std::size_t cap, std::size_t* len, const char* s) {
+  while (*s != '\0' && *len + 1 < cap) buf[(*len)++] = *s++;
+}
+
+void append_num(char* buf, std::size_t cap, std::size_t* len, long v) {
+  char tmp[24];
+  std::size_t n = 0;
+  unsigned long u = v < 0 ? static_cast<unsigned long>(-(v + 1)) + 1
+                          : static_cast<unsigned long>(v);
+  do {
+    tmp[n++] = static_cast<char>('0' + u % 10);
+    u /= 10;
+  } while (u != 0 && n < sizeof(tmp));
+  if (v < 0) tmp[n++] = '-';
+  while (n > 0 && *len + 1 < cap) buf[(*len)++] = tmp[--n];
+}
+
+[[noreturn]] void report_overflow(const ArenaInfo& a, std::size_t slot) {
+  const SlotInfo& s = a.slots[slot];
+  char msg[256];
+  std::size_t len = 0;
+  append_str(msg, sizeof(msg), &len, "mpnj: fatal: stack overflow: thread ");
+  append_num(msg, sizeof(msg), &len, s.tid.load(std::memory_order_relaxed));
+  append_str(msg, sizeof(msg), &len, " (");
+  append_str(msg, sizeof(msg), &len, s.name[0] != '\0' ? s.name : "unnamed");
+  append_str(msg, sizeof(msg), &len, ") overflowed its ");
+  append_num(msg, sizeof(msg), &len, static_cast<long>(a.usable_bytes));
+  append_str(msg, sizeof(msg), &len, "-byte stack slot\n");
+  // Only async-signal-safe calls from here: the fault may have happened with
+  // arbitrary locks held, so no stdio, no panic().
+  ssize_t ignored = write(2, msg, len);
+  (void)ignored;
+  abort();
+}
+
+// Maps a fault address to (arena, overflowing slot).  Returns false when the
+// address is not attributable to a slot overflow.
+bool classify(const std::byte* addr, const ArenaInfo** arena_out,
+              std::size_t* slot_out) {
+  const int n = g_num_arenas.load(std::memory_order_acquire);
+  for (int i = 0; i < n; i++) {
+    const ArenaInfo& a = g_arenas[i];
+    if (addr < a.base || addr >= a.base + a.bytes) continue;
+    const std::size_t off = static_cast<std::size_t>(addr - a.base);
+    std::size_t slot = off / a.stride;
+    if (slot >= a.num_slots) return false;
+    if (a.guard_bytes > 0) {
+      // Guarded slot: the guard region sits below the usable range, so a
+      // fault inside it is the slot's own stack running off its bottom.
+      if (off % a.stride >= a.guard_bytes) return false;
+    } else {
+      // Guardless arena: slots are contiguous, so an overflow runs into the
+      // top of the slot below.  A fault in a never-committed slot directly
+      // below a committed one is attributed to the committed slot's owner;
+      // anything else is not attributable.
+      if (a.slots[slot].committed.load(std::memory_order_relaxed) != 0) {
+        return false;
+      }
+      if (slot + 1 >= a.num_slots ||
+          a.slots[slot + 1].committed.load(std::memory_order_relaxed) == 0) {
+        return false;
+      }
+      slot++;
+    }
+    *arena_out = &a;
+    *slot_out = slot;
+    return true;
+  }
+  return false;
+}
+
+void on_segv(int signo, siginfo_t* info, void* uctx) {
+  const ArenaInfo* arena = nullptr;
+  std::size_t slot = 0;
+  if (info != nullptr &&
+      classify(static_cast<const std::byte*>(info->si_addr), &arena, &slot)) {
+    report_overflow(*arena, slot);
+  }
+  // Not ours: chain to whoever was installed before us (a sanitizer keeps
+  // its own crash reports), or restore the default disposition and return —
+  // the faulting instruction re-executes and the default action kills the
+  // process with the usual SIGSEGV exit.
+  if ((g_prev_sa.sa_flags & SA_SIGINFO) != 0 &&
+      g_prev_sa.sa_sigaction != nullptr) {
+    g_prev_sa.sa_sigaction(signo, info, uctx);
+    return;
+  }
+  if (g_prev_sa.sa_handler != SIG_DFL && g_prev_sa.sa_handler != SIG_IGN) {
+    g_prev_sa.sa_handler(signo);
+    return;
+  }
+  signal(signo, SIG_DFL);
+}
+
+void install_handler() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = &on_segv;
+  sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGSEGV, &sa, &g_prev_sa);
+}
+
+// Alternate stack per OS thread, freed when the thread exits (after
+// disabling it, so the handler can never run on freed memory).
+struct AltStack {
+  void* mem = nullptr;
+  bool checked = false;
+  ~AltStack() {
+    if (mem != nullptr) {
+      stack_t ss;
+      std::memset(&ss, 0, sizeof(ss));
+      ss.ss_flags = SS_DISABLE;
+      sigaltstack(&ss, nullptr);
+      std::free(mem);
+    }
+  }
+};
+thread_local AltStack t_altstack;
+
+}  // namespace
+
+int register_arena(const ArenaInfo& info) {
+  install_handler();
+  const int idx = g_num_arenas.load(std::memory_order_relaxed);
+  if (idx >= kMaxArenas) return -1;
+  g_arenas[idx] = info;
+  g_num_arenas.store(idx + 1, std::memory_order_release);
+  return idx;
+}
+
+void ensure_thread() {
+  if (t_altstack.checked) return;
+  t_altstack.checked = true;
+  stack_t cur;
+  std::memset(&cur, 0, sizeof(cur));
+  if (sigaltstack(nullptr, &cur) == 0 && (cur.ss_flags & SS_DISABLE) == 0 &&
+      cur.ss_sp != nullptr) {
+    return;  // someone (a sanitizer) already gave this thread an altstack
+  }
+  const std::size_t size = 64 * 1024;
+  void* mem = std::malloc(size);
+  if (mem == nullptr) return;  // degraded: overflow becomes a plain crash
+  stack_t ss;
+  std::memset(&ss, 0, sizeof(ss));
+  ss.ss_sp = mem;
+  ss.ss_size = size;
+  if (sigaltstack(&ss, nullptr) == 0) {
+    t_altstack.mem = mem;
+  } else {
+    std::free(mem);
+  }
+}
+
+}  // namespace mp::arch::stackfault

@@ -1,0 +1,61 @@
+#pragma once
+
+// Deterministic stack-overflow reporting for pooled stack slots.
+//
+// The segment pool (cont/segment.h) reserves large PROT_NONE arenas and
+// commits fixed-stride stack slots out of them, each with a guard region
+// below the usable range (stacks grow down).  A thread that overflows its
+// slot faults in the guard instead of corrupting a neighbour; the classifier
+// installed here turns that SIGSEGV into a panic naming the owning thread
+// ("stack overflow: thread 7 (kv-writer) ...") instead of a bare crash.
+//
+// Faults that do not land in a registered guard region are chained to the
+// previously installed handler (a sanitizer's, typically) or re-raised with
+// the default disposition, so unrelated segfaults keep their usual reports.
+//
+// Everything the handler reads is written with release/acquire atomics or is
+// immutable after registration; the handler itself uses only async-signal-
+// safe calls (write + abort).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace mp::arch::stackfault {
+
+// Per-slot owner record, written by the slot's owning thread and read by the
+// fault handler.  `name` is only ever written by the thread executing on the
+// slot and only read after that same thread faults, so a plain char array is
+// race-free in practice.
+struct SlotInfo {
+  std::atomic<int> tid{-1};                // logical thread id, -1 = unowned
+  std::atomic<std::uint8_t> committed{0};  // slot has committed pages
+  char name[24] = {};                      // NUL-terminated debug name
+};
+
+struct ArenaInfo {
+  const std::byte* base = nullptr;  // start of the reservation
+  std::size_t bytes = 0;            // total reserved bytes
+  std::size_t stride = 0;           // guard_bytes + usable bytes per slot
+  std::size_t guard_bytes = 0;      // 0 = guardless (merged-VMA) arena
+  std::size_t usable_bytes = 0;     // usable stack bytes per slot
+  SlotInfo* slots = nullptr;        // one entry per slot, lives as long as
+  std::size_t num_slots = 0;        //   the arena (arenas are never unmapped)
+};
+
+inline constexpr int kMaxArenas = 256;
+
+// Publishes an arena to the fault classifier (and installs the process-wide
+// handler on first use).  Callers must serialize registrations (the segment
+// pool registers under its own lock).  Returns the arena index, or -1 when
+// the table is full — faults in an unregistered arena fall through to the
+// previous handler.
+int register_arena(const ArenaInfo& info);
+
+// Gives the calling OS thread an alternate signal stack so the classifier
+// can run after the thread's own stack is exhausted.  Idempotent and cheap
+// after the first call; respects an altstack someone else (a sanitizer)
+// already installed.
+void ensure_thread();
+
+}  // namespace mp::arch::stackfault

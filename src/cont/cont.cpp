@@ -10,22 +10,45 @@ namespace mp::cont {
 namespace {
 
 // ----- Registry of live cores (for the collector's root scan). -----
+//
+// Sharded by core address: at production fork rates every capture and
+// release takes a registry lock, and a single global word is the first thing
+// every proc fights over.  The collector iterates shard by shard with the
+// world stopped, so it still sees every live core.
 
-std::atomic<std::uint32_t> g_registry_lock{0};
-ContCore* g_registry_head = nullptr;
+constexpr std::size_t kRegShards = 64;
+
+struct alignas(64) RegShard {
+  std::atomic<std::uint32_t> lock{0};
+  ContCore* head = nullptr;
+};
+
+RegShard g_reg_shards[kRegShards];
 std::atomic<std::size_t> g_live_cores{0};
+
+std::size_t shard_of(const ContCore* core) noexcept {
+  // Cores are cacheline-ish sized; dropping the low bits spreads pooled
+  // (address-reused) cores evenly.
+  return (reinterpret_cast<std::uintptr_t>(core) >> 6) % kRegShards;
+}
 
 class RegistryGuard {
  public:
-  RegistryGuard() {
-    while (g_registry_lock.exchange(1, std::memory_order_acquire) != 0) {
-      while (g_registry_lock.load(std::memory_order_relaxed) != 0) {
+  explicit RegistryGuard(RegShard& shard) : shard_(shard) {
+    while (shard_.lock.exchange(1, std::memory_order_acquire) != 0) {
+      while (shard_.lock.load(std::memory_order_relaxed) != 0) {
         arch::cpu_relax();
       }
     }
   }
-  ~RegistryGuard() { g_registry_lock.store(0, std::memory_order_release); }
+  ~RegistryGuard() { shard_.lock.store(0, std::memory_order_release); }
+
+ private:
+  RegShard& shard_;
 };
+
+// Cached continuation cores a proc may keep for reuse.
+constexpr int kCoreCacheCap = 64;
 
 // The internal unwind raised by throw_to / fire_preloaded / exit_to_idle.
 // Deliberately not derived from std::exception: catching it with `catch
@@ -68,11 +91,12 @@ void ContCore::preload(std::uint64_t raw, bool gc_traced) noexcept {
 void cont_unref(ContCore* core) noexcept {
   if (core->refs_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
   {
-    RegistryGuard guard;
+    RegShard& shard = g_reg_shards[shard_of(core)];
+    RegistryGuard guard(shard);
     if (core->reg_prev_ != nullptr) {
       core->reg_prev_->reg_next_ = core->reg_next_;
     } else {
-      g_registry_head = core->reg_next_;
+      shard.head = core->reg_next_;
     }
     if (core->reg_next_ != nullptr) {
       core->reg_next_->reg_prev_ = core->reg_prev_;
@@ -85,11 +109,43 @@ void cont_unref(ContCore* core) noexcept {
     // segment can be reclaimed.
     seg->live_seals.fetch_sub(1, std::memory_order_relaxed);
   }
-  delete core;
+  detail::ContOps::free_core(core);
   if (seg != nullptr) seg->drop_ref();
 }
 
 namespace detail {
+
+ContCore* ContOps::alloc_core() {
+  ExecContext* ex = current_exec();
+  if (ex != nullptr && ex->core_cache != nullptr) {
+    ContCore* core = ex->core_cache;
+    ex->core_cache = core->reg_next_;
+    ex->core_cache_count--;
+    core->refs_.store(0, std::memory_order_relaxed);
+    core->state_.store(ContCore::State::kCaptured, std::memory_order_relaxed);
+    core->slot_ = 0;
+    core->slot_armed_ = false;
+    core->cancel_ = false;
+    core->home_seg_ = nullptr;
+    core->ctx_ = arch::Context{};
+    core->root_head_ = nullptr;
+    core->reg_prev_ = nullptr;
+    core->reg_next_ = nullptr;
+    return core;
+  }
+  return new ContCore();
+}
+
+void ContOps::free_core(ContCore* core) noexcept {
+  ExecContext* ex = current_exec();
+  if (ex != nullptr && ex->core_cache_count < kCoreCacheCap) {
+    core->reg_next_ = ex->core_cache;
+    ex->core_cache = core;
+    ex->core_cache_count++;
+    return;
+  }
+  delete core;
+}
 
 ContRef ContOps::make_sealed_core() {
   ExecContext* ex = current_exec();
@@ -99,16 +155,17 @@ ContRef ContOps::make_sealed_core() {
       ex->seg->live_seals.fetch_add(1, std::memory_order_relaxed);
   MPNJ_CHECK(prev_seals == 0,
              "two live continuations sealed into one segment");
-  auto* core = new ContCore();
+  ContCore* core = alloc_core();
   core->refs_.store(1, std::memory_order_relaxed);
   core->home_seg_ = ex->seg;
   ex->seg->add_ref();
   core->root_head_ = ex->root_head;
   {
-    RegistryGuard guard;
-    core->reg_next_ = g_registry_head;
-    if (g_registry_head != nullptr) g_registry_head->reg_prev_ = core;
-    g_registry_head = core;
+    RegShard& shard = g_reg_shards[shard_of(core)];
+    RegistryGuard guard(shard);
+    core->reg_next_ = shard.head;
+    if (shard.head != nullptr) shard.head->reg_prev_ = core;
+    shard.head = core;
   }
   g_live_cores.fetch_add(1, std::memory_order_relaxed);
   return ContRef::adopt(core);
@@ -123,6 +180,7 @@ std::uint64_t ContOps::seal_and_switch(ContRef sealed, StackSegment* fresh) {
   sealed.reset();  // boot record + parent linkage keep the core alive
   MPNJ_CHECK(ex->pending_release == nullptr, "nested pending segment release");
   ex->pending_release = ex->seg;  // running reference; the core holds its own
+  fresh->copy_owner_from(*ex->seg);  // the thread's identity moves with it
   ex->seg = fresh;                // fresh arrives with its pool reference
   ex->root_head = nullptr;        // the body starts a fresh root chain
   void* san_fake = nullptr;
@@ -213,28 +271,51 @@ std::uint64_t ContOps::seal_and_switch(ContRef sealed, StackSegment* fresh) {
   } catch (...) {
     arch::panic("uncaught C++ exception crossed a continuation boundary");
   }
+  // Retire the record.  An in-place record lives in the slot's boot area
+  // above the range execution uses, so destroying it from this stack is
+  // safe; `boot_record` is cleared first so an overlapping recycle of the
+  // segment cannot double-destroy.
+  const bool inplace = seg->boot_inplace;
   seg->boot_record = nullptr;
-  delete rec;
+  seg->boot_inplace = false;
+  if (inplace) {
+    rec->~BootRecord();
+  } else {
+    delete rec;
+  }
   if (to_idle) ContOps::return_to_idle();
   ContOps::resume_target(std::move(fire_target));
 }
 
-StackSegment* boot_segment(std::unique_ptr<BootRecord> rec, ContCore* parent) {
-  StackSegment* seg = SegmentPool::instance().acquire();
+StackSegment* acquire_boot_segment(StackClass cls, ContCore* parent) {
+  StackSegment* seg = SegmentPool::instance().acquire(cls);
   if (parent != nullptr) {
     ContRef keep{parent};  // +1 for the segment's parent linkage
     seg->parent_cont = keep.release();
   }
-  seg->boot_record = rec.release();
-  arch::san::stack_reuse(seg->stack_base(), seg->stack_size());
-  if (seg->san_fiber == nullptr) seg->san_fiber = arch::san::fiber_create();
-  arch::ctx_make(seg->boot_ctx, seg->stack_base(), seg->stack_size(),
-                 &trampoline, seg);
+  // Clear stale sanitizer shadow over the whole slot (usable range plus the
+  // boot area the record is about to be constructed in).
+  arch::san::stack_reuse(seg->stack_base(),
+                         seg->stack_size() + StackSegment::kBootReserve);
   return seg;
 }
 
+void finish_boot_segment(StackSegment* seg, BootRecord* rec, bool inplace) {
+  seg->boot_record = rec;
+  seg->boot_inplace = inplace;
+  if (seg->san_fiber == nullptr) seg->san_fiber = arch::san::fiber_create();
+  arch::ctx_make(seg->boot_ctx, seg->stack_base(), seg->stack_size(),
+                 &trampoline, seg);
+}
+
+StackClass current_stack_class() noexcept {
+  ExecContext* ex = current_exec();
+  if (ex == nullptr || ex->seg == nullptr) return StackClass::kLarge;
+  return ex->seg->klass();
+}
+
 ContRef ContOps::adopt_entry_segment(StackSegment* seg) {
-  auto* core = new ContCore();
+  ContCore* core = alloc_core();
   core->refs_.store(1, std::memory_order_relaxed);
   core->home_seg_ = seg;  // adopts the pool reference
   core->root_head_ = nullptr;
@@ -243,10 +324,11 @@ ContRef ContOps::adopt_entry_segment(StackSegment* seg) {
   core->state_.store(ContCore::State::kPreloaded, std::memory_order_relaxed);
   core->slot_ = 0;
   {
-    RegistryGuard guard;
-    core->reg_next_ = g_registry_head;
-    if (g_registry_head != nullptr) g_registry_head->reg_prev_ = core;
-    g_registry_head = core;
+    RegShard& shard = g_reg_shards[shard_of(core)];
+    RegistryGuard guard(shard);
+    core->reg_next_ = shard.head;
+    if (shard.head != nullptr) shard.head->reg_prev_ = core;
+    shard.head = core;
   }
   g_live_cores.fetch_add(1, std::memory_order_relaxed);
   return ContRef::adopt(core);
@@ -283,15 +365,27 @@ void ContOps::enter_from_idle(ContRef k, ExecContext& ex) {
 }
 
 void ContOps::for_each(const std::function<void(ContCore&)>& fn) {
-  RegistryGuard guard;
-  for (ContCore* c = g_registry_head; c != nullptr; c = c->reg_next_) {
-    fn(*c);
+  for (RegShard& shard : g_reg_shards) {
+    RegistryGuard guard(shard);
+    for (ContCore* c = shard.head; c != nullptr; c = c->reg_next_) {
+      fn(*c);
+    }
   }
 }
 
 }  // namespace detail
 
-ContRef make_entry(std::function<void()> f) {
+void detail::drain_exec_caches(ExecContext& ex) noexcept {
+  while (ex.core_cache != nullptr) {
+    ContCore* core = ex.core_cache;
+    ex.core_cache = core->reg_next_;
+    delete core;
+  }
+  ex.core_cache_count = 0;
+  SegmentPool::instance().flush_cache(&ex.stack_cache);
+}
+
+ContRef make_entry(std::function<void()> f, StackClass cls) {
   struct EntryRecord final : detail::BootRecord {
     std::function<void()> f;
     explicit EntryRecord(std::function<void()> fn) : f(std::move(fn)) {}
@@ -301,9 +395,15 @@ ContRef make_entry(std::function<void()> f) {
       detail::ContOps::to_idle();
     }
   };
-  StackSegment* seg = detail::boot_segment(
-      std::make_unique<EntryRecord>(std::move(f)), /*parent=*/nullptr);
+  StackSegment* seg = detail::boot_segment_make<EntryRecord>(
+      cls, /*parent=*/nullptr, std::move(f));
   return detail::ContOps::adopt_entry_segment(seg);
+}
+
+void set_stack_owner(int tid, const char* name) noexcept {
+  ExecContext* ex = current_exec();
+  if (ex == nullptr || ex->seg == nullptr) return;
+  ex->seg->stamp_owner(tid, name);
 }
 
 void run_from_idle(ContRef k, ExecContext& exec) {

@@ -110,6 +110,7 @@ class ContCore {
   friend class ContRef;
   friend void cont_unref(ContCore* core) noexcept;
   friend void mark_cancel(const ContRef& k);
+  friend void detail::drain_exec_caches(ExecContext& ex) noexcept;
   friend struct detail::ContOps;
 
   ContCore() = default;
@@ -188,10 +189,45 @@ struct BootRecord {
 
 [[noreturn]] void trampoline(void* seg_arg);
 
-// Installs `rec` as the boot record of a fresh segment and returns the
-// segment, ready to be resumed.  `parent` (may be null) is fired on normal
-// return off the segment; the segment takes one reference to it.
-StackSegment* boot_segment(std::unique_ptr<BootRecord> rec, ContCore* parent);
+// Acquires a fresh segment of `cls` and links `parent` (may be null: it is
+// fired on normal return off the segment; the segment takes one reference).
+// The sanitizer shadow of the slot is cleared, ready for the boot record.
+StackSegment* acquire_boot_segment(StackClass cls, ContCore* parent);
+
+// Installs `rec` as the segment's pending boot record and fabricates the
+// trampoline context.  `inplace` says whether `rec` was placement-
+// constructed in the segment's boot area (destroyed in place) or heap
+// allocated (deleted).
+void finish_boot_segment(StackSegment* seg, BootRecord* rec, bool inplace);
+
+// Stack class of the segment the caller is executing on (kLarge outside a
+// proc's client context) — what a replacement segment inherits.
+StackClass current_stack_class() noexcept;
+
+// Boots a fresh segment of `cls` whose trampoline runs a newly constructed
+// `R(args...)`.  Records that fit the slot's boot reserve are constructed in
+// place — the steady-state fork/callcc path allocates nothing.
+template <typename R, typename... Args>
+StackSegment* boot_segment_make(StackClass cls, ContCore* parent,
+                                Args&&... args) {
+  StackSegment* seg = acquire_boot_segment(cls, parent);
+  BootRecord* rec = nullptr;
+  bool inplace = false;
+  try {
+    if constexpr (sizeof(R) <= StackSegment::kBootReserve &&
+                  alignof(R) <= StackSegment::kBootAlign) {
+      rec = new (seg->boot_area()) R(std::forward<Args>(args)...);
+      inplace = true;
+    } else {
+      rec = new R(std::forward<Args>(args)...);
+    }
+  } catch (...) {
+    seg->drop_ref();  // releases the parent linkage too
+    throw;
+  }
+  finish_boot_segment(seg, rec, inplace);
+  return seg;
+}
 
 // Core continuation operations; the single friend of ContCore through which
 // all private state is manipulated.
@@ -217,6 +253,9 @@ struct ContOps {
   [[noreturn]] static void return_to_idle();
   // Registry iteration for the collector.
   static void for_each(const std::function<void(ContCore&)>& fn);
+  // Core allocation through the per-proc recycled-core cache.
+  static ContCore* alloc_core();
+  static void free_core(ContCore* core) noexcept;
 };
 
 }  // namespace detail
@@ -247,12 +286,12 @@ class Cont {
   ContRef ref_;
 };
 
-// callcc(body): captures the current continuation k, then runs body(k) on a
-// fresh segment.  callcc returns when k is thrown a value — or, if the body
-// returns normally, with the body's own result (delivered by an implicit
-// throw, matching SML semantics for one-shot use).
+// callcc_on(cls, body): captures the current continuation k, then runs
+// body(k) on a fresh segment of stack class `cls`.  Returns when k is thrown
+// a value — or, if the body returns normally, with the body's own result
+// (delivered by an implicit throw, matching SML semantics for one-shot use).
 template <typename T, typename F>
-T callcc(F&& body) {
+T callcc_on(StackClass cls, F&& body) {
   static_assert(std::is_invocable_r_v<T, F, Cont<T>>,
                 "callcc<T> body must accept Cont<T> and return T");
 
@@ -272,10 +311,17 @@ T callcc(F&& body) {
   };
 
   ContRef sealed = detail::ContOps::make_sealed_core();
-  auto rec = std::make_unique<Record>(std::forward<F>(body), sealed);
-  StackSegment* fresh = detail::boot_segment(std::move(rec), sealed.get());
+  StackSegment* fresh = detail::boot_segment_make<Record>(
+      cls, sealed.get(), std::forward<F>(body), sealed);
   std::uint64_t raw = detail::ContOps::seal_and_switch(std::move(sealed), fresh);
   return detail::decode_slot<T>(raw);
+}
+
+// callcc(body): callcc_on with the class of the segment being sealed, so a
+// thread's replacement segments keep the footprint its fork requested.
+template <typename T, typename F>
+T callcc(F&& body) {
+  return callcc_on<T>(detail::current_stack_class(), std::forward<F>(body));
 }
 
 // throw v to k: unwinds the current frames (running destructors), abandons
@@ -304,10 +350,17 @@ template <typename T>
 void mark_cancel(const ContRef& k);
 
 // Create a PRELOADED entry continuation that, when fired, runs `f` on a
-// fresh segment.  If `f` returns normally the proc returns to its idle loop.
-// Used by the platform to start the root computation and by clients that
-// need a thread body without a parent capture point.
-ContRef make_entry(std::function<void()> f);
+// fresh segment of `cls`.  If `f` returns normally the proc returns to its
+// idle loop.  Used by the platform to start the root computation and by
+// clients that need a thread body without a parent capture point.
+ContRef make_entry(std::function<void()> f,
+                   StackClass cls = StackClass::kLarge);
+
+// Stamp the identity of the logical thread executing on the current segment
+// (reported by the stack-overflow panic, arch/stackfault.h).  The stamp
+// follows the thread: capture copies it onto each replacement segment.
+// `name` (may be null) is copied and truncated to the slot's name buffer.
+void set_stack_owner(int tid, const char* name) noexcept;
 
 // Platform-side: enter the client world from a proc's idle loop by firing
 // `k` (which must be PRELOADED); returns when the client releases the proc.

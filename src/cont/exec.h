@@ -5,6 +5,14 @@
 
 namespace mp::cont {
 
+struct ExecContext;
+
+namespace detail {
+// Returns the ExecContext's cached stack slots and continuation cores to the
+// global pools (cont.cpp); called by the ExecContext destructor.
+void drain_exec_caches(ExecContext& ex) noexcept;
+}  // namespace detail
+
 // Per-proc execution state visible to the continuation layer.  The platform
 // backends own one ExecContext per proc; a thread-local pointer names the one
 // belonging to the proc currently executing on this kernel thread (in the
@@ -44,6 +52,19 @@ struct ExecContext {
   const void* san_idle_bottom = nullptr;
   std::size_t san_idle_size = 0;
   bool san_from_idle = false;
+
+  // This proc's recycled stack slots (cont/segment.h) and continuation
+  // cores: owner-only free lists in the ProcCore recycled-cell shape, so
+  // fork/capture/resume at steady state touch neither the pool lock nor
+  // malloc.  Cores chain through their registry link.
+  StackCache stack_cache;
+  ContCore* core_cache = nullptr;
+  int core_cache_count = 0;
+
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+  ~ExecContext() { detail::drain_exec_caches(*this); }
 
   // Drop any deferred references.  Called at every resume point (after the
   // resumed code has read the fired continuation's value slot).

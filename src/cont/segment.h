@@ -3,20 +3,32 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "arch/ctx.h"
+#include "arch/stackfault.h"
 #include "arch/tas.h"
+#include "cont/stack_config.h"
 
 namespace mp::cont {
 
 class ContCore;
+struct SlotArena;
 void cont_unref(ContCore* core) noexcept;  // defined in cont.cpp
 
-// A heap-allocated stack segment.  Continuation capture seals the current
-// segment into the continuation and moves execution to a fresh segment, so
-// capture is O(1) — the property that makes SML/NJ-style threads cheap
-// (paper section 2: "callcc simply allocates and initializes a new closure
-// without having to copy anything").
+// A pooled stack slot.  Continuation capture seals the current segment into
+// the continuation and moves execution to a fresh segment, so capture is
+// O(1) — the property that makes SML/NJ-style threads cheap (paper section
+// 2: "callcc simply allocates and initializes a new closure without having
+// to copy anything").
+//
+// Segments are slots carved out of large PROT_NONE arena reservations
+// (docs/STACKS.md): committing a slot is one mprotect, releasing a surplus
+// slot is one madvise, and a guard region below the usable range turns an
+// overflow into a deterministic fault attributed to the owning thread
+// (arch/stackfault.h).  The top kBootReserve bytes of each slot hold the
+// pending callcc's boot record, so booting a segment allocates nothing.
 //
 // Lifetime is reference counted.  References are held by:
 //   * the proc currently executing on the segment (the "running" reference),
@@ -29,8 +41,15 @@ void cont_unref(ContCore* core) noexcept;  // defined in cont.cpp
 // continuation chains without unwinding them.
 class StackSegment {
  public:
+  // Space reserved at the top of every slot for the in-place boot record.
+  static constexpr std::size_t kBootReserve = 512;
+  static constexpr std::size_t kBootAlign = 64;
+
   std::byte* stack_base() const noexcept { return usable_base_; }
   std::size_t stack_size() const noexcept { return usable_size_; }
+  // The boot-record area above the usable stack range.
+  void* boot_area() const noexcept { return usable_base_ + usable_size_; }
+  StackClass klass() const noexcept { return klass_; }
 
   void add_ref() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
   // Drops one reference; frees the segment (returning it to the pool) and
@@ -39,6 +58,18 @@ class StackSegment {
   // through ExecContext::pending_release instead.
   void drop_ref() noexcept;
 
+  // Stamp the logical thread executing on this segment; shown by the
+  // stack-overflow fault report.  `name` (may be null) is copied.
+  void stamp_owner(int tid, const char* name) noexcept;
+  // Capture hands the executing thread's identity to its fresh segment.
+  void copy_owner_from(const StackSegment& other) noexcept {
+    stamp_owner(other.owner_tid_, other.owner_name_);
+  }
+
+  // Destroys the pending boot record, in place or on the heap (see
+  // boot_inplace).  Safe to call with no record pending.
+  void destroy_boot_record() noexcept;
+
   // Parent continuation fired on normal return off this segment's bottom
   // frame; owned (one ContCore reference).  Managed by callcc/trampoline.
   ContCore* parent_cont = nullptr;
@@ -46,8 +77,10 @@ class StackSegment {
   // Boot context fabricated by ctx_make for this segment's trampoline.
   arch::Context boot_ctx;
 
-  // Type-erased boot record for the pending callcc body (see cont.cpp).
+  // Type-erased boot record for the pending callcc body (see cont.cpp) and
+  // whether it was placement-constructed in boot_area().
   void* boot_record = nullptr;
+  bool boot_inplace = false;
 
   // TSan fiber identity for executions on this stack (arch/fiber_san.h);
   // created when the segment is booted, destroyed when it is recycled.
@@ -60,33 +93,53 @@ class StackSegment {
 
  private:
   friend class SegmentPool;
+  friend struct SlotArena;
   StackSegment() = default;
   ~StackSegment() = default;
 
   std::atomic<int> refs_{0};
-  std::byte* map_base_ = nullptr;   // start of the mmap (guard page)
-  std::size_t map_size_ = 0;
   std::byte* usable_base_ = nullptr;
-  std::size_t usable_size_ = 0;
+  std::size_t usable_size_ = 0;  // excludes kBootReserve
+  StackClass klass_ = StackClass::kLarge;
+  SlotArena* arena_ = nullptr;  // null for unpooled (baseline) segments
+  arch::stackfault::SlotInfo* slot_info_ = nullptr;
+  std::uint64_t gen_ = 0;  // pool generation the slot was carved under
+  std::byte* map_base_ = nullptr;   // baseline segments: start of the mmap
+  std::size_t map_size_ = 0;        //   (guard page + usable)
+  int owner_tid_ = -1;              // shadow of slot_info_ for hand-off
+  char owner_name_[24] = {};
   StackSegment* free_next_ = nullptr;
 };
 
-// Process-wide pool of equally sized stack segments.  Segments are mmap'd
-// with an inaccessible guard page below the stack (stacks grow down), so a
-// segment overflow faults instead of corrupting a neighbour.
+// Per-proc cache of recycled slots, embedded in ExecContext.  Owner-only:
+// only the proc the cache belongs to pushes or pops, so no lock is needed
+// (the ProcCore recycled-cell discipline).
+struct StackCache {
+  StackSegment* head[kNumStackClasses] = {};
+  int count[kNumStackClasses] = {};
+};
+
+// Process-wide pool of stack slots in two size classes, carved on demand out
+// of large PROT_NONE arena reservations.  Acquisition order: the current
+// proc's StackCache, then the global hot list (committed slots), then the
+// cold list (decommitted slots), then a fresh slot from the newest arena.
 class SegmentPool {
  public:
   static SegmentPool& instance();
 
-  // Size of the usable stack area of every pooled segment.  May only be
-  // changed while no segments are outstanding (e.g. in tests / at startup).
-  void set_segment_size(std::size_t bytes);
-  std::size_t segment_size() const noexcept { return seg_size_; }
+  // Applies a validated stack geometry.  A no-op when `cfg` equals the
+  // current configuration; otherwise panics if any segment is outstanding.
+  // Old-generation arenas stay reserved (cached slots pointing into them
+  // are retired lazily), so reconfiguring costs address space, not safety.
+  void configure(const StackConfig& cfg);
+  const StackConfig& config() const noexcept { return config_; }
 
   // Returns a segment with one reference (the caller's running reference).
-  StackSegment* acquire();
+  StackSegment* acquire(StackClass cls = StackClass::kLarge);
   // Internal: called by StackSegment::drop_ref when the count reaches zero.
   void recycle(StackSegment* seg) noexcept;
+  // Returns a proc's cached slots to the global pool (ExecContext teardown).
+  void flush_cache(StackCache* cache) noexcept;
 
   // Statistics for tests and leak checks.
   std::int64_t outstanding() const noexcept {
@@ -95,19 +148,49 @@ class SegmentPool {
   std::int64_t total_created() const noexcept {
     return created_.load(std::memory_order_relaxed);
   }
-  // Unmaps all free-listed segments (tests use this between configurations).
+  // Bytes of stack currently committed (acquired slots + hot free slots);
+  // maintained unconditionally, independent of MPNJ_METRICS.
+  std::int64_t committed_bytes() const noexcept {
+    return committed_.load(std::memory_order_relaxed);
+  }
+  // Decommits every hot free slot (tests use this between configurations;
+  // arenas stay reserved).
   void trim();
 
- private:
-  SegmentPool() = default;
+  // Deterministic commit/decommit accounting hook (the sim backend charges
+  // modeled page costs through it).  Called outside the pool lock.
+  using AccountFn = void (*)(void* arg, std::int64_t commit_bytes,
+                             std::int64_t decommit_bytes);
+  void set_accounting(AccountFn fn, void* arg) noexcept;
 
-  StackSegment* allocate_fresh();
+ private:
+  SegmentPool();
+
+  struct ClassState {
+    std::vector<std::unique_ptr<SlotArena>> arenas;
+    StackSegment* hot = nullptr;  // committed free slots
+    int hot_count = 0;
+    StackSegment* cold = nullptr;  // decommitted free slots
+    int cold_count = 0;
+  };
+
+  StackSegment* carve_locked(int c, std::int64_t* commit);
+  StackSegment* allocate_baseline(StackClass cls);
+  void retire_slot(StackSegment* seg) noexcept;
+  void release_to_global(StackSegment* seg) noexcept;
+  void release_baseline(StackSegment* seg) noexcept;
+  void account(std::int64_t commit, std::int64_t decommit) noexcept;
 
   arch::TasWord lock_;
-  StackSegment* free_list_ = nullptr;
-  std::size_t seg_size_ = 64 * 1024;
+  StackConfig config_;
+  std::atomic<std::uint64_t> gen_{0};  // bumped by every geometry change
+  ClassState classes_[kNumStackClasses];
+  std::vector<std::unique_ptr<SlotArena>> retired_arenas_;
   std::atomic<std::int64_t> outstanding_{0};
   std::atomic<std::int64_t> created_{0};
+  std::atomic<std::int64_t> committed_{0};
+  std::atomic<AccountFn> acct_fn_{nullptr};
+  std::atomic<void*> acct_arg_{nullptr};
 };
 
 }  // namespace mp::cont

@@ -97,10 +97,14 @@ void serve(KvService& svc, io::Stream in, io::Stream out, ServeOptions opts) {
   threads::Scheduler& sched = svc.scheduler();
   cml::Mailbox<std::uint64_t> replies(sched);
   threads::CountdownLatch writer_done(sched, 1);
-  sched.fork([&] {
-    writer_loop(svc, replies, out);
-    writer_done.count_down();
-  });
+  sched.fork(
+      [&] {
+        writer_loop(svc, replies, out);
+        writer_done.count_down();
+      },
+      threads::Scheduler::SpawnOpts{}
+          .with_stack(cont::StackClass::kSmall)
+          .with_name("kv-writer"));
 
   // Private mailbox for multi-shard fan-outs (RANGE probes): replies to
   // scatter probes come back here, never through the writer.

@@ -63,10 +63,12 @@ void KvService::start() {
   joined_ = std::make_unique<threads::CountdownLatch>(
       sched_, static_cast<int>(shards_.size()));
   for (int i = 0; i < static_cast<int>(shards_.size()); i++) {
-    sched_.fork([this, i] {
-      shard_loop(i);
-      joined_->count_down();
-    });
+    sched_.fork(
+        [this, i] {
+          shard_loop(i);
+          joined_->count_down();
+        },
+        threads::Scheduler::SpawnOpts{}.with_name("kv-shard"));
   }
 }
 

@@ -28,6 +28,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "kv_gets",               "kv_sets",               "kv_dels",
     "kv_ranges",             "kv_stats",              "kv_hits",
     "kv_misses",             "kv_proto_errors",       "kv_conns",
+    "stack_commit_bytes",    "stack_decommit_bytes",  "cont_pool_hits",
+    "cont_pool_misses",      "cont_pool_recycles",    "cont_pool_decommits",
     "trace_dropped",
 };
 

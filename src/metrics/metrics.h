@@ -97,6 +97,16 @@ enum class Counter : std::uint32_t {
   kKvMisses,       // GETs that missed
   kKvProtoErrors,  // malformed frames answered with -ERR
   kKvConns,        // connections accepted into the serving loop
+  // Pooled stack slots (cont/segment.cpp).  The commit/decommit byte totals
+  // are counted through the always-on tier so RSS accounting survives
+  // MPNJ_METRICS=0 (current committed bytes = commits - decommits, also
+  // exposed directly by SegmentPool::committed_bytes()).
+  kContStackCommitBytes,    // stack bytes committed (carve, cold-slot reuse)
+  kContStackDecommitBytes,  // stack bytes released (madvise MADV_DONTNEED)
+  kContPoolHits,       // acquisitions served without committing pages
+  kContPoolMisses,     // acquisitions that had to commit (carve or cold pop)
+  kContPoolRecycles,   // slots returned to a free pool
+  kContPoolDecommits,  // slots madvised past the global free target
   // Scheduling-event tracer (threads/trace.h).
   kTraceDropped,  // trace events overwritten in the ring buffer
   kNumCounters,

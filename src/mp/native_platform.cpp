@@ -42,6 +42,7 @@ NativePlatform::NativePlatform(NativePlatformConfig config)
   }
   epoch_ = std::chrono::steady_clock::now();
   preempt_interval_us_.store(cfg_.preempt_interval_us);
+  init_stacks(cfg_.stack);
   init_heap(cfg_.heap);
 }
 

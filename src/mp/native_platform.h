@@ -16,6 +16,7 @@ struct NativePlatformConfig {
   // sizes its per-proc structures.  0 = hardware concurrency.
   int max_procs = 0;
   gc::HeapConfig heap;
+  cont::StackConfig stack;
   double preempt_interval_us = 0;
   // Spin-then-backoff behaviour of lock(); 0 = naive spin.
   double lock_backoff_base_us = 0;

@@ -213,6 +213,13 @@ class Platform : public gc::Rendezvous, public gc::Accounting {
   void init_heap(const gc::HeapConfig& config) {
     heap_ = std::make_unique<gc::Heap>(config, *this, *this);
   }
+  // Apply the backend config's stack geometry to the process-wide segment
+  // pool (cont/stack_config.h).  Called from every backend constructor,
+  // before any proc can acquire a segment; validates and panics on
+  // degenerate geometry the same way HeapConfig does.
+  void init_stacks(const cont::StackConfig& config) {
+    cont::SegmentPool::instance().configure(config);
+  }
 
   virtual ProcRec& self() = 0;
   virtual void for_each_proc(const std::function<void(ProcRec&)>& fn) = 0;

@@ -49,10 +49,48 @@ SimPlatform::SimPlatform(SimPlatformConfig config) : cfg_(std::move(config)) {
     metrics::Registry::bind_slot(id);
   });
   engine_->set_timer_hook([this](int id) { on_timer(id); });
+  init_stacks(cfg_.stack);
+  // Start from a cold slot pool: decommit every warm free slot left over
+  // from earlier runs in this process.  A cold-slot acquire and a fresh
+  // carve charge the same commit cost, so with no warm slots at boot the
+  // charge sequence — and therefore the whole run — is bit-reproducible
+  // no matter what ran before.
+  cont::SegmentPool::instance().trim();
+  // Charge stack-slot commit/decommit traffic to the proc doing it.  The
+  // pool fires the hook outside its lock, and only real page transitions
+  // reach it (cache-hot recycles are free), so this prices exactly the cold
+  // paths.  Pool work on the engine's own thread between proc runs
+  // (current() < 0) is simulation bookkeeping, not proc time: skip it.
+  cont::SegmentPool::instance().set_accounting(
+      [](void* arg, std::int64_t commit_bytes, std::int64_t decommit_bytes) {
+        auto* self = static_cast<SimPlatform*>(arg);
+        sim::Engine& eng = *self->engine_;
+        if (eng.current() < 0) return;
+        const sim::MachineModel& m = self->cfg_.machine;
+        constexpr double kPage = 4096.0;
+        const double us =
+            (static_cast<double>(commit_bytes) / kPage) *
+                m.stack_commit_us_per_page +
+            (static_cast<double>(decommit_bytes) / kPage) *
+                m.stack_decommit_us_per_page;
+        if (us > 0) eng.charge_us(us);
+      },
+      this);
   init_heap(cfg_.heap);
 }
 
-SimPlatform::~SimPlatform() = default;
+SimPlatform::~SimPlatform() {
+  // Defensive mirror of the clear in backend_run: if a run was abandoned
+  // (panic path, engine never drained), the thread-local exec may still
+  // name one of the procs freed below.
+  for (auto& p : procs_) {
+    if (cont::current_exec() == &p->exec) {
+      cont::set_current_exec(nullptr);
+      break;
+    }
+  }
+  cont::SegmentPool::instance().set_accounting(nullptr, nullptr);
+}
 
 // ----- proc lifecycle -----
 
@@ -107,6 +145,10 @@ void SimPlatform::backend_run(cont::ContRef root, Datum root_datum) {
   const bool posted = backend_acquire(std::move(root), root_datum);
   MPNJ_CHECK(posted, "could not start the root proc");
   engine_->run();
+  // The resume hook pointed the thread-local exec at whichever virtual proc
+  // ran last; that proc's ExecContext dies with this platform, so the
+  // pointer must not outlive the run.
+  cont::set_current_exec(nullptr);
   if (!done()) {
     arch::panic(
         "simulated deadlock: all procs idle but the root computation has "

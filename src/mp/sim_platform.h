@@ -41,6 +41,7 @@ struct SimReport {
 struct SimPlatformConfig {
   sim::MachineModel machine;
   gc::HeapConfig heap;
+  cont::StackConfig stack;
   double preempt_interval_us = 0;  // 0 = no preemption
   // Exponential backoff between spin retries (Anderson); 0 = naive spin.
   double lock_backoff_base_us = 0;

@@ -27,6 +27,7 @@ UniPlatform::UniPlatform(UniPlatformConfig config) {
   rng_.reseed(config.seed);
   epoch_ = std::chrono::steady_clock::now();
   preempt_interval_us_.store(config.preempt_interval_us);
+  init_stacks(config.stack);
   init_heap(config.heap);
 }
 

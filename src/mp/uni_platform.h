@@ -9,6 +9,7 @@ namespace mp {
 
 struct UniPlatformConfig {
   gc::HeapConfig heap;
+  cont::StackConfig stack;
   double preempt_interval_us = 0;
   std::uint64_t seed = 0x5eed;
 };

@@ -49,6 +49,12 @@ struct MachineModel {
   double throw_instr = 30.0;       // resume cost
   double proc_acquire_us = 400.0;  // OS call: obtain a kernel thread
   double proc_release_us = 150.0;  // OS call: release the processor
+  // Stack-slot pool traffic (cont/segment.h): committing a fresh slot page
+  // (soft fault + zero fill) and decommitting one back to the OS
+  // (madvise).  Cache-hot recycles charge nothing — that is the point of
+  // the pool — so these price only the cold paths.
+  double stack_commit_us_per_page = 2.0;
+  double stack_decommit_us_per_page = 1.0;
 
   // --- allocation & GC (two-generation copying collector, section 5) ---
   double alloc_instr_per_word = 2.0;    // inline bump allocation

@@ -124,31 +124,35 @@ class Thread {
 
  private:
   template <typename U, typename F>
-  friend Thread<U> fork_thread(Scheduler& s, F&& body);
+  friend Thread<U> fork_thread(Scheduler& s, F&& body,
+                               Scheduler::SpawnOpts opts);
 
   std::shared_ptr<detail::ThreadRec> rec_;
 };
 
-// Fork a thread computing body() -> T; returns a joinable handle.
+// Fork a thread computing body() -> T; returns a joinable handle.  `opts`
+// (stack class, debug name) passes straight through to Scheduler::fork.
 template <typename T, typename F>
-Thread<T> fork_thread(Scheduler& s, F&& body) {
+Thread<T> fork_thread(Scheduler& s, F&& body, Scheduler::SpawnOpts opts = {}) {
   static_assert(std::is_invocable_r_v<T, F>,
                 "fork_thread<T> body must be callable as T()");
   Thread<T> handle;
   handle.rec_ = std::make_shared<detail::ThreadRec>(s);
   auto rec = handle.rec_;
-  s.fork([&s, rec, body = std::forward<F>(body)]() mutable {
-    detail::AlertRegistry::instance().set(s.id(), rec.get());
-    std::uint64_t raw = 0;
-    try {
-      raw = cont::detail::encode_slot<T>(body());
-    } catch (const Alerted&) {
-      rec->alert_exit.store(true, std::memory_order_release);
-    }
-    detail::AlertRegistry::instance().clear(s.id());
-    rec->finished.store(true, std::memory_order_release);
-    rec->done.put(raw);  // wakes every joiner
-  });
+  s.fork(
+      [&s, rec, body = std::forward<F>(body)]() mutable {
+        detail::AlertRegistry::instance().set(s.id(), rec.get());
+        std::uint64_t raw = 0;
+        try {
+          raw = cont::detail::encode_slot<T>(body());
+        } catch (const Alerted&) {
+          rec->alert_exit.store(true, std::memory_order_release);
+        }
+        detail::AlertRegistry::instance().clear(s.id());
+        rec->finished.store(true, std::memory_order_release);
+        rec->done.put(raw);  // wakes every joiner
+      },
+      opts);
   return handle;
 }
 

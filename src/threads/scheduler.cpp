@@ -324,13 +324,18 @@ void Scheduler::maybe_poll_io() {
   }
 }
 
-void Scheduler::fork(std::function<void()> child) {
+void Scheduler::fork(std::function<void()> child, SpawnOpts opts) {
   plat_.work(cfg_.costs.fork_instr);
   plat_.mask_signal(Sig::kPreempt);
   MPNJ_METRIC_COUNT(kSchedForks, 1);
   live_.fetch_add(1, std::memory_order_acq_rel);
-  callcc<Unit>(
-      [this, child = std::move(child)](Cont<Unit> parent) mutable -> Unit {
+  // The callcc body is the child, so the requested stack class is simply the
+  // class of the fresh segment the body boots on; every later capture the
+  // child makes inherits it.
+  callcc_on<Unit>(
+      opts.stack,
+      [this, opts, child = std::move(child)](Cont<Unit> parent) mutable
+      -> Unit {
         const int parent_id = static_cast<int>(plat_.get_datum());
         // Move the parent to a freshly acquired proc if one is available;
         // otherwise block it on the ready queue (Figure 3).
@@ -343,6 +348,7 @@ void Scheduler::fork(std::function<void()> child) {
         const int my_id = next_id_++;
         plat_.unlock(next_id_lock_);
         plat_.set_datum(static_cast<Datum>(my_id));
+        cont::set_stack_owner(my_id, opts.name);
         if (cfg_.tracer) {
           cfg_.tracer->record(plat_, TraceKind::kFork, parent_id, my_id);
         }
@@ -499,6 +505,7 @@ void Scheduler::run(Platform& platform, SchedulerConfig config,
     Scheduler sched(platform, std::move(config));
     sched.live_.fetch_add(1);  // the root thread
     platform.set_datum(0);
+    cont::set_stack_owner(0, "main");
     main_fn(sched);
     sched.live_.fetch_sub(1);
     // Drain: keep yielding (which also lends this proc to ready threads)

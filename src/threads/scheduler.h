@@ -78,8 +78,31 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
+  // Per-thread creation options (the SpawnOpts overload of fork).  The
+  // stack class picks the thread's slot footprint (cont/stack_config.h):
+  // kLarge (default) for ordinary bodies, kSmall for fleets of mostly-parked
+  // threads — per-connection readers/writers, timers — where slot size is
+  // what bounds the live-thread population.  Replacement segments inherit
+  // the class, so the choice follows the thread for its whole life.  `name`
+  // labels the thread in the stack-overflow fault report; it is copied at
+  // fork, so any lifetime is fine.
+  struct SpawnOpts {
+    cont::StackClass stack = cont::StackClass::kLarge;
+    const char* name = nullptr;
+
+    SpawnOpts& with_stack(cont::StackClass c) {
+      stack = c;
+      return *this;
+    }
+    SpawnOpts& with_name(const char* n) {
+      name = n;
+      return *this;
+    }
+  };
+
   // --- the THREAD signature (Figure 1) ---
-  void fork(std::function<void()> child);
+  void fork(std::function<void()> child) { fork(std::move(child), {}); }
+  void fork(std::function<void()> child, SpawnOpts opts);
   void yield();
   int id();
 
