@@ -31,6 +31,8 @@ const char* kind_name(Kind k) {
     case Kind::kGcTrigger: return "gc-trigger";
     case Kind::kIoOrder: return "io-order";
     case Kind::kPreemptArm: return "preempt-arm";
+    case Kind::kCardFlush: return "card-flush";
+    case Kind::kLosSweep: return "los-sweep";
     case Kind::kKindCount: break;
   }
   return "?";

@@ -41,6 +41,10 @@ enum class Kind : std::uint8_t {
   kGcTrigger,        // chunk refill: 1 forces an early collection (choice)
   kIoOrder,          // rotation applied to the reactor's ready batch (choice)
   kPreemptArm,       // jitter added to the next preemption deadline
+  kCardFlush,        // write barrier: 1 flushes the proc's dirty-card buffer
+                     // to the global list early (choice)
+  kLosSweep,         // collection trigger: 1 escalates to a major so the LOS
+                     // sweeps under mutated schedules (choice)
   kKindCount,
 };
 

@@ -212,13 +212,22 @@ ExecResult run_wake_storm(const ScenarioOpts& o) {
 // list in a tiny nursery (collections every few hundred allocations),
 // periodically dropping its list to make garbage, while all threads mutate
 // a shared old array under a mutex (write-barrier traffic and cross-thread
-// pointers).  Checksum traverses the surviving structures, so an object the
-// copier loses or mis-links changes the answer even without a panic.
+// pointers) and cycle LOS-sized arrays through a rotating root (dirty-flag
+// scans, marks, and — with the deliberately tiny arena — pressure-driven
+// sweeps).  Together with the card remset this reaches every fuzz decision
+// point the latency GC added: kCardFlush (early dirty-card buffer flushes)
+// and kLosSweep (minors mutated into LOS-sweeping majors).  Checksum
+// traverses the surviving structures, so an object the copier loses or
+// mis-links changes the answer even without a panic.
 
 ExecResult run_gc_churn(const ScenarioOpts& o) {
   SimPlatformConfig cfg = base_config(o);
   cfg.heap.nursery_bytes = 32 * 1024;
   cfg.heap.old_bytes = 16u << 20;
+  // Small enough that the rotating large arrays cross the LOS pressure
+  // threshold within one run, so sweep scheduling becomes a fuzzed decision.
+  cfg.heap.los_bytes = 1u << 20;
+  cfg.heap.los_pressure_fraction = 0.25;
   SimPlatform platform(cfg);
   const int threads = o.procs < 2 ? 2 : o.procs;
   const int steps = 220 * o.scale;
@@ -236,16 +245,26 @@ ExecResult run_gc_churn(const ScenarioOpts& o) {
     for (int t = 0; t < threads; t++) {
       s.fork([&, t] {
         gc::GlobalRoot list(h, gc::Value::nil());
+        gc::GlobalRoot big(h, gc::Value::nil());
         for (int i = 0; i < steps; i++) {
           const long id = t * 1000000L + i;
           list = gc::GlobalRoot(
               h, h.alloc_record({gc::Value::from_int(id), list.get()}));
+          // Immediately-dead filler keeps the tiny nursery overflowing, so
+          // the baseline itself reaches do_collect's kLosSweep pick (the
+          // fuzzer can only override decisions present in the baseline).
+          h.alloc_array(24, gc::Value::from_int(i));
           if (i % 64 == 63) list = gc::GlobalRoot(h, gc::Value::nil());
           if (i % 13 == 0) {
             m.lock();
             h.store(shared.get(), static_cast<std::size_t>(t) + 1,
                     gc::Value::from_int(id));
             m.unlock();
+          }
+          if (i % 8 == 3) {
+            // An LOS-sized array holding a young pointer (the list head)
+            // replaces the previous one, which becomes sweepable garbage.
+            big = gc::GlobalRoot(h, h.alloc_array(1200, list.get()));
           }
           if (i % 17 == 0) s.yield();
         }
@@ -254,6 +273,11 @@ ExecResult run_gc_churn(const ScenarioOpts& o) {
         while (v.is_ptr()) {
           sum += v.field(0).as_int();
           v = v.field(1);
+        }
+        if (big.get().is_ptr()) {
+          sum += big.get().length();
+          const gc::Value head = big.get().field(0);
+          if (head.is_ptr()) sum += head.field(0).as_int();
         }
         sums[static_cast<std::size_t>(t)] = sum;
         done.count_down();

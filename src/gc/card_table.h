@@ -1,0 +1,125 @@
+#pragma once
+
+// Card-marking remembered set for the old generation (heap.h, RemsetMode::
+// kCard).  The store list the paper inherits from SML/NJ records one entry
+// per assignment, so a store-heavy mutator hands the minor collector an
+// unbounded, duplicate-ridden root list that must be sorted and walked every
+// pause.  The card table bounds that work by the *locations* written instead
+// of the writes: the active old semispace is divided into fixed power-of-two
+// cards, a store dirties the byte for the card holding the written slot (an
+// idempotent relaxed flag, re-dirtying an already-dirty card is free), and
+// the minor collection re-scans each dirty card exactly once regardless of
+// how many stores landed on it.
+//
+// Cards are addressed by word offset within the active semispace, so the two
+// semispaces share one table and a major flip only needs the dirty bytes
+// cleared — which is free, because the nursery is empty after every
+// collection and therefore *no* old-to-young pointers survive a pause: every
+// collection ends with an all-clean table.
+//
+// The crossing map (`object_start`) makes a dirty card parseable without
+// walking the whole generation: for every card it records the word offset of
+// the object covering the card's first word.  The invariant is maintained
+// incrementally by whoever writes objects contiguously from a card-aligned
+// base — the sequential collector from the semispace base, each parallel
+// worker within its own card-aligned promotion block — via record_object():
+//
+//   - an object starting exactly on a card boundary claims that card;
+//   - an object spanning into later cards claims each card it crosses.
+//
+// Any card inside a contiguously-filled region then names the right object:
+// either some object starts exactly at its base (claims it), or the object
+// overlapping its base started earlier and crossed into it (claims it).
+// Entries for never-filled cards are garbage, but such cards can never be
+// dirty (stores only land inside allocated objects).
+//
+// Concurrency: mark() is called by mutators in parallel (atomic byte,
+// relaxed — the collector only reads the table at a stop-the-world pause);
+// record_object() is called during collection where card-aligned promotion
+// blocks give every card exactly one writer.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "arch/panic.h"
+
+namespace mp::gc {
+
+class CardTable {
+ public:
+  CardTable() = default;
+  CardTable(const CardTable&) = delete;
+  CardTable& operator=(const CardTable&) = delete;
+
+  // Cover a semispace of `space_words` with cards of `card_words` (both
+  // powers of two, card_words <= space_words).
+  void init(std::size_t space_words, std::size_t card_words) {
+    MPNJ_CHECK(card_words != 0 && (card_words & (card_words - 1)) == 0,
+               "card size must be a power of two");
+    MPNJ_CHECK(card_words <= space_words,
+               "card larger than the space it divides");
+    card_words_ = card_words;
+    shift_ = static_cast<std::size_t>(__builtin_ctzll(card_words));
+    num_cards_ = space_words >> shift_;
+    dirty_ = std::make_unique<std::atomic<std::uint8_t>[]>(num_cards_);
+    start_ = std::make_unique<std::uint32_t[]>(num_cards_);
+    for (std::size_t c = 0; c < num_cards_; c++) {
+      dirty_[c].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t card_words() const { return card_words_; }
+  std::size_t num_cards() const { return num_cards_; }
+  std::size_t card_of(std::size_t word_off) const { return word_off >> shift_; }
+  std::size_t card_base_word(std::size_t card) const { return card << shift_; }
+
+  // Mutator barrier: dirty the card holding `word_off`.  Returns true when
+  // this call observed the card clean (the caller then queues the card index
+  // for the collector); a racing pair of mutators may both see clean and
+  // both queue it, which the collector's sort+unique absorbs.
+  bool mark(std::size_t word_off) {
+    std::atomic<std::uint8_t>& b = dirty_[word_off >> shift_];
+    if (b.load(std::memory_order_relaxed) != 0) return false;
+    b.store(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool is_dirty(std::size_t card) const {
+    return dirty_[card].load(std::memory_order_relaxed) != 0;
+  }
+  void clear(std::size_t card) {
+    dirty_[card].store(0, std::memory_order_relaxed);
+  }
+  void clear_all_dirty() {
+    for (std::size_t c = 0; c < num_cards_; c++) clear(c);
+  }
+
+  // Crossing-map maintenance: an object of `words` words (header included)
+  // was written at word offset `word_off`.  See the file comment for why
+  // this keeps object_start() correct for every contiguously-filled card.
+  void record_object(std::size_t word_off, std::size_t words) {
+    const std::size_t first = word_off >> shift_;
+    const std::size_t last = (word_off + words - 1) >> shift_;
+    if (word_off == (first << shift_)) {
+      start_[first] = static_cast<std::uint32_t>(word_off);
+    }
+    for (std::size_t c = first + 1; c <= last; c++) {
+      start_[c] = static_cast<std::uint32_t>(word_off);
+    }
+  }
+
+  // Word offset of the object covering `card`'s first word (<= the card's
+  // base offset).  Only meaningful for cards inside filled space.
+  std::size_t object_start(std::size_t card) const { return start_[card]; }
+
+ private:
+  std::unique_ptr<std::atomic<std::uint8_t>[]> dirty_;
+  std::unique_ptr<std::uint32_t[]> start_;
+  std::size_t card_words_ = 0;
+  std::size_t shift_ = 0;
+  std::size_t num_cards_ = 0;
+};
+
+}  // namespace mp::gc

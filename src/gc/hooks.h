@@ -63,6 +63,14 @@ class Accounting {
   // Account an allocation of `words` heap words (inline bump + write miss
   // traffic, the dominant bus load in SML/NJ programs).
   virtual void charge_alloc(std::uint64_t words) = 0;
+  // Account a minor collection's remembered-set scan: `cards` dirty cards
+  // re-parsed covering `words` old-generation words (card remset mode only;
+  // the store-list baseline's root slots are charged through charge_gc).
+  virtual void charge_card_scan(std::uint64_t cards, std::uint64_t words) = 0;
+  // Account a large-object allocation of `pages` fresh pages (soft faults on
+  // first touch) and a post-major sweep that released `pages` back.
+  virtual void charge_los_alloc(std::uint64_t pages) = 0;
+  virtual void charge_los_sweep(std::uint64_t pages) = 0;
 };
 
 }  // namespace mp::gc

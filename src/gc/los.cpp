@@ -1,0 +1,131 @@
+#include "gc/los.h"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "arch/panic.h"
+#include "gc/object_layout.h"
+
+namespace mp::gc {
+
+void LargeObjectSpace::init(std::size_t arena_bytes) {
+  MPNJ_CHECK(base_ == nullptr, "LargeObjectSpace initialized twice");
+  MPNJ_CHECK((arena_bytes & (kPageBytes - 1)) == 0,
+             "LOS arena must be a multiple of the page size");
+  void* p = ::mmap(nullptr, arena_bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  MPNJ_CHECK(p != MAP_FAILED, "mmap of %zu-byte LOS arena failed",
+             arena_bytes);
+  base_ = static_cast<char*>(p);
+  arena_bytes_ = arena_bytes;
+  arena_pages_ = arena_bytes / kPageBytes;
+  free_.push_back(Extent{0, static_cast<std::uint32_t>(arena_pages_)});
+}
+
+LargeObjectSpace::~LargeObjectSpace() {
+  if (base_ != nullptr) ::munmap(base_, arena_bytes_);
+}
+
+std::uint64_t* LargeObjectSpace::alloc(std::size_t obj_words,
+                                       std::size_t* pages_out) {
+  const std::size_t bytes = (kMetaWords + obj_words) * kWordBytes;
+  const std::size_t pages = (bytes + kPageBytes - 1) / kPageBytes;
+  std::uint32_t page = 0;
+  {
+    arch::TasGuard guard(lock_);
+    // First fit: the free list is kept sorted by page, so this also prefers
+    // low addresses and keeps the arena's touched prefix compact.
+    std::size_t i = 0;
+    for (; i < free_.size(); i++) {
+      if (free_[i].pages >= pages) break;
+    }
+    if (i == free_.size()) return nullptr;
+    page = free_[i].page;
+    if (free_[i].pages == pages) {
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      free_[i].page += static_cast<std::uint32_t>(pages);
+      free_[i].pages -= static_cast<std::uint32_t>(pages);
+    }
+    objects_.push_back(page);
+  }
+  used_pages_.fetch_add(pages, std::memory_order_relaxed);
+
+  char* run = base_ + std::size_t{page} * kPageBytes;
+  auto* meta = reinterpret_cast<Meta*>(run);
+  meta->magic = kMagic;
+  meta->pages = static_cast<std::uint32_t>(pages);
+  meta->obj_words = obj_words;
+  meta->mark.store(0, std::memory_order_relaxed);
+  meta->dirty.store(0, std::memory_order_relaxed);
+  if (pages_out != nullptr) *pages_out = pages;
+  return reinterpret_cast<std::uint64_t*>(run) + kMetaWords;
+}
+
+void LargeObjectSpace::clear_all_dirty() {
+  arch::TasGuard guard(lock_);
+  for (const std::uint32_t page : objects_) {
+    meta_of(object_at(page))->dirty.store(0, std::memory_order_relaxed);
+  }
+}
+
+LargeObjectSpace::SweepResult LargeObjectSpace::sweep() {
+  SweepResult res;
+  arch::TasGuard guard(lock_);
+  std::vector<std::uint32_t> live;
+  live.reserve(objects_.size());
+  for (const std::uint32_t page : objects_) {
+    std::uint64_t* obj = object_at(page);
+    Meta* meta = meta_of(obj);
+    if (meta->mark.load(std::memory_order_relaxed) != 0) {
+      meta->mark.store(0, std::memory_order_relaxed);
+      meta->dirty.store(0, std::memory_order_relaxed);
+      live.push_back(page);
+      res.objects_live++;
+      continue;
+    }
+    res.objects_freed++;
+    res.bytes_freed += meta->obj_words * kWordBytes;
+    res.pages_freed += meta->pages;
+    meta->magic = 0;
+    free_.push_back(Extent{page, meta->pages});
+    ::madvise(base_ + std::size_t{page} * kPageBytes,
+              std::size_t{meta->pages} * kPageBytes, MADV_DONTNEED);
+  }
+  objects_.swap(live);
+  // Re-sort and coalesce the free list so fragmentation cannot accrete
+  // across sweeps.
+  std::sort(free_.begin(), free_.end(),
+            [](const Extent& a, const Extent& b) { return a.page < b.page; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < free_.size(); i++) {
+    if (out > 0 &&
+        free_[out - 1].page + free_[out - 1].pages == free_[i].page) {
+      free_[out - 1].pages += free_[i].pages;
+    } else {
+      free_[out++] = free_[i];
+    }
+  }
+  free_.resize(out);
+  used_pages_.fetch_sub(static_cast<std::size_t>(res.pages_freed),
+                        std::memory_order_relaxed);
+  return res;
+}
+
+bool LargeObjectSpace::is_object_start(const std::uint64_t* p) const {
+  if (!contains(p)) return false;
+  const auto off = reinterpret_cast<const char*>(p) - base_;
+  // Objects sit kMetaWords words into a page-aligned run.
+  if (static_cast<std::size_t>(off) % kPageBytes != kMetaWords * kWordBytes) {
+    return false;
+  }
+  const Meta* meta = meta_of(p);
+  return meta->magic == kMagic &&
+         std::size_t{meta->pages} * kPageBytes <=
+             arena_bytes_ - static_cast<std::size_t>(off -
+                 static_cast<std::ptrdiff_t>(kMetaWords * kWordBytes));
+}
+
+}  // namespace mp::gc

@@ -1,0 +1,148 @@
+#pragma once
+
+// Large-object space: page-granular allocation for objects too big to earn
+// their copying cost (KV values, io frames, big arrays).  Before this space
+// existed, oversized allocations were bump-allocated straight into the old
+// generation, where every major collection memcpy'd them between semispaces
+// and — worse — an old-gen array born with nursery-pointing fields had no
+// store-list entry, so its young targets could be missed by the next minor
+// collection.  LOS objects are never copied: they are mark-swept by major
+// collections and born *dirty*, so the first minor collection after an
+// allocation scans their fields like any recorded store.
+//
+// Layout.  One contiguous anonymous mapping (MAP_NORESERVE: pages cost
+// nothing until touched) carved into page runs by a first-fit free list of
+// [page, count] extents under a test-and-set lock (allocation is already the
+// heap's slow path).  Each run holds exactly one object:
+//
+//   [LosMeta .. padded to 64 bytes][object header][fields ...]
+//
+// so a Value points at a perfectly ordinary object header and the collector
+// finds the run's metadata at a fixed negative offset.  The mark and dirty
+// flags live in the meta, never in the object header — a major collection
+// CAS-forwards old-generation headers, and keeping LOS state out of the
+// header means LOS objects need no forwarding protocol at all.
+//
+// Sweeping madvises freed runs back to the OS (MADV_DONTNEED) and coalesces
+// adjacent free extents, so peak RSS tracks live large objects, not the
+// arena reservation.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "arch/tas.h"
+
+namespace mp::gc {
+
+class LargeObjectSpace {
+ public:
+  static constexpr std::size_t kPageBytes = 4096;
+  // Meta prefix before the object header; one cache line keeps the header
+  // 8-byte aligned and the mutator's dirty flag off the collector's fields.
+  static constexpr std::size_t kMetaWords = 8;
+
+  struct Meta {
+    std::uint32_t magic;           // kMagic for a live run
+    std::uint32_t pages;           // run length, pages
+    std::uint64_t obj_words;       // header + fields
+    std::atomic<std::uint8_t> mark;   // major-collection liveness
+    std::atomic<std::uint8_t> dirty;  // may hold young pointers (minor root)
+  };
+  static constexpr std::uint32_t kMagic = 0x105B10C5;
+
+  struct SweepResult {
+    std::uint64_t objects_freed = 0;
+    std::uint64_t bytes_freed = 0;
+    std::uint64_t pages_freed = 0;
+    std::uint64_t objects_live = 0;
+  };
+
+  LargeObjectSpace() = default;
+  ~LargeObjectSpace();
+  LargeObjectSpace(const LargeObjectSpace&) = delete;
+  LargeObjectSpace& operator=(const LargeObjectSpace&) = delete;
+
+  // Reserve an arena of `arena_bytes` (multiple of the page size).
+  void init(std::size_t arena_bytes);
+
+  // Allocate a run for an object of `obj_words` (header included); returns
+  // the object header address, or nullptr when no extent fits (the caller
+  // collects — a major sweeps this space — and retries).  `pages_out`
+  // reports the run length for cost accounting.
+  std::uint64_t* alloc(std::size_t obj_words, std::size_t* pages_out);
+
+  bool contains(const void* p) const {
+    return p >= base_ && p < base_ + arena_bytes_;
+  }
+
+  // Meta of an object returned by alloc() (fixed negative offset).
+  static Meta* meta_of(std::uint64_t* obj) {
+    return reinterpret_cast<Meta*>(obj - kMetaWords);
+  }
+  static const Meta* meta_of(const std::uint64_t* obj) {
+    return reinterpret_cast<const Meta*>(obj - kMetaWords);
+  }
+
+  // Mutator barrier / allocation: flag the object as possibly holding young
+  // pointers.  Returns true when this call observed it clean.
+  static bool set_dirty(std::uint64_t* obj) {
+    std::atomic<std::uint8_t>& d = meta_of(obj)->dirty;
+    if (d.load(std::memory_order_relaxed) != 0) return false;
+    d.store(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Collector marking (major phase): returns true for the worker that
+  // transitions the object unmarked -> marked and must scan its fields.
+  static bool try_mark(std::uint64_t* obj) {
+    return meta_of(obj)->mark.exchange(1, std::memory_order_acq_rel) == 0;
+  }
+
+  // Post-minor: the nursery is empty, no object can hold young pointers.
+  void clear_all_dirty();
+
+  // Post-major: free every unmarked run (madvise the pages away), clear all
+  // marks and dirty flags on survivors.
+  SweepResult sweep();
+
+  // Enumerate live objects (object header addresses).  Collector-side only.
+  template <typename Fn>
+  void for_each_object(Fn&& fn) const {
+    for (const std::uint32_t page : objects_) {
+      fn(object_at(page));
+    }
+  }
+
+  std::size_t object_count() const { return objects_.size(); }
+  std::size_t used_bytes() const {
+    return used_pages_.load(std::memory_order_relaxed) * kPageBytes;
+  }
+  std::size_t arena_bytes() const { return arena_bytes_; }
+
+  // Verification support: true iff `p` is the header address of a live LOS
+  // object (meta magic and geometry check out).
+  bool is_object_start(const std::uint64_t* p) const;
+
+ private:
+  std::uint64_t* object_at(std::uint32_t page) const {
+    return reinterpret_cast<std::uint64_t*>(base_ + std::size_t{page} *
+                                                        kPageBytes) +
+           kMetaWords;
+  }
+
+  struct Extent {
+    std::uint32_t page;
+    std::uint32_t pages;
+  };
+
+  char* base_ = nullptr;
+  std::size_t arena_bytes_ = 0;
+  std::size_t arena_pages_ = 0;
+  mutable arch::TasWord lock_;
+  std::vector<Extent> free_;          // sorted by page; adjacent runs merged
+  std::vector<std::uint32_t> objects_;  // first page of every live run
+  std::atomic<std::size_t> used_pages_{0};
+};
+
+}  // namespace mp::gc

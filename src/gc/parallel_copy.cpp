@@ -32,18 +32,22 @@ void ParallelCopier::end_cycle() {
   cycle_open_.store(false, std::memory_order_release);
 }
 
-ParallelCopier::PhaseResult ParallelCopier::run_phase(
-    std::uint64_t* from_lo, std::uint64_t* from_hi, std::uint64_t** frontier,
-    std::uint64_t* to_limit, std::span<std::uint64_t* const> root_slots) {
+ParallelCopier::PhaseResult ParallelCopier::run_phase(const PhaseSpaces& in) {
   // Reset per-phase state.  No worker can be inside run_worker here: the
   // previous phase waited for active_ == 0 and phase_seq_ is even.
-  from_lo_ = from_lo;
-  from_hi_ = from_hi;
-  to_base_ = *frontier;
-  to_words_ = static_cast<std::size_t>(to_limit - to_base_);
+  from_lo_ = in.from_lo;
+  from_hi_ = in.from_hi;
+  to_base_ = *in.frontier;
+  to_words_ = static_cast<std::size_t>(in.to_limit - to_base_);
   frontier_off_.store(0, std::memory_order_relaxed);
-  root_slots_ = root_slots;
+  root_slots_ = in.roots;
   root_cursor_.store(0, std::memory_order_relaxed);
+  ranges_ = in.ranges;
+  range_cursor_.store(0, std::memory_order_relaxed);
+  cards_ = in.cards;
+  card_base_ = in.card_base;
+  card_words_ = (in.cards != nullptr) ? in.cards->card_words() : 0;
+  los_ = in.los;
   entered_.store(0, std::memory_order_relaxed);
   idle_.store(0, std::memory_order_relaxed);
   done_.store(false, std::memory_order_relaxed);
@@ -57,7 +61,17 @@ ParallelCopier::PhaseResult ParallelCopier::run_phase(
   steals_.store(0, std::memory_order_relaxed);
   pushes_.store(0, std::memory_order_relaxed);
   term_rounds_.store(0, std::memory_order_relaxed);
+  range_words_.store(0, std::memory_order_relaxed);
+  los_marked_.store(0, std::memory_order_relaxed);
   for (auto& ww : worker_words_) ww.v.store(0, std::memory_order_relaxed);
+
+  // The crossing map is rebuilt from the to-space base in card mode, and
+  // blocks are carved card-aligned, so the frontier must start on a card.
+  if (card_words_ != 0) {
+    MPNJ_CHECK((static_cast<std::size_t>(to_base_ - card_base_) &
+                (card_words_ - 1)) == 0,
+               "to-space frontier not card aligned");
+  }
 
   // Open the phase (odd sequence) and work it ourselves: the collector is
   // just another worker until the termination detector fires.
@@ -79,13 +93,15 @@ ParallelCopier::PhaseResult ParallelCopier::run_phase(
   res.steals = steals_.load(std::memory_order_relaxed);
   res.overflow_pushes = pushes_.load(std::memory_order_relaxed);
   res.term_rounds = term_rounds_.load(std::memory_order_relaxed);
+  res.range_words = range_words_.load(std::memory_order_relaxed);
+  res.los_marked = los_marked_.load(std::memory_order_relaxed);
   res.workers = entered_.load(std::memory_order_relaxed);
   const int nw = std::min(res.workers, kMaxWorkers);
   for (int i = 0; i < nw; i++) {
     res.worker_words.push_back(
         worker_words_[i].v.load(std::memory_order_relaxed));
   }
-  *frontier = to_base_ + carved;
+  *in.frontier = to_base_ + carved;
   return res;
 }
 
@@ -123,14 +139,15 @@ void ParallelCopier::run_worker(std::uint64_t myseq) {
 
   Worker w;
   claim_roots(w);
-  drain_own(w);
+  claim_ranges(w);
+  drain_all(w);
   for (;;) {
     Region r;
     if (try_steal(&r)) {
       w.steals++;
       steals_.fetch_add(1, std::memory_order_relaxed);
       scan_region(w, r);
-      drain_own(w);
+      drain_all(w);
       continue;
     }
     // Out of local work and the overflow stack looked empty.  Publish our
@@ -158,6 +175,36 @@ void ParallelCopier::claim_roots(Worker& w) {
   }
 }
 
+void ParallelCopier::claim_ranges(Worker& w) {
+  const std::size_t n = ranges_.size();
+  if (n == 0) return;
+  for (;;) {
+    const std::size_t i = range_cursor_.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= n) return;
+    scan_range(w, ranges_[i]);
+  }
+}
+
+void ParallelCopier::scan_range(Worker& w, const ScanRange& r) {
+  // Parse objects from r.parse but forward only slots inside [lo, hi): a
+  // range's slots belong to exactly one range (dirty cards are deduplicated,
+  // LOS ranges cover whole distinct objects), so the one-writer-per-slot
+  // invariant survives objects straddling range boundaries.
+  std::uint64_t* p = r.parse;
+  while (p < r.hi) {
+    const std::uint64_t hdr = p[0];
+    const std::size_t fields = header_field_words(hdr);
+    std::uint64_t* obj_end = p + 1 + fields;
+    if (header_is_traced(hdr)) {
+      std::uint64_t* s = std::max(p + 1, r.lo);
+      std::uint64_t* e = std::min(obj_end, r.hi);
+      for (; s < e; s++) forward_slot(w, s);
+    }
+    p = obj_end;
+  }
+  w.range_words += static_cast<std::uint64_t>(r.hi - r.lo);
+}
+
 void ParallelCopier::forward_slot(Worker& w, std::uint64_t* slot) {
   // Each slot is claimed by exactly one worker (root slots are deduplicated,
   // object slots belong to the worker scanning the object), so the slot
@@ -165,7 +212,17 @@ void ParallelCopier::forward_slot(Worker& w, std::uint64_t* slot) {
   const std::uint64_t bits = *slot;
   if (bits == 0 || (bits & 1u) != 0) return;  // nil or immediate int
   auto* obj = reinterpret_cast<std::uint64_t*>(bits);
-  if (obj < from_lo_ || obj >= from_hi_) return;
+  if (obj < from_lo_ || obj >= from_hi_) {
+    // Not in the evacuated space.  In a major phase the pointer may lead
+    // into the large-object space: mark it live, and whoever wins the mark
+    // CAS owes the object's fields a scan (exactly one scanner per object).
+    if (los_ != nullptr && los_->contains(obj) &&
+        LargeObjectSpace::try_mark(obj)) {
+      w.los_marked++;
+      if (header_is_traced(obj[0])) w.los_pending.push_back(obj);
+    }
+    return;
+  }
   std::atomic_ref<std::uint64_t> hdr_ref(obj[0]);
   std::uint64_t hdr = hdr_ref.load(std::memory_order_acquire);
   if ((hdr & 1u) != 0) {  // already forwarded
@@ -183,6 +240,9 @@ void ParallelCopier::forward_slot(Worker& w, std::uint64_t* slot) {
     dst[0] = hdr;
     if (words > 1) std::memcpy(dst + 1, obj + 1, (words - 1) * kWordBytes);
     w.copied += words;
+    if (card_words_ != 0) {
+      cards_->record_object(static_cast<std::size_t>(dst - card_base_), words);
+    }
     *slot = reinterpret_cast<std::uint64_t>(dst);
   } else {
     w.alloc -= words;
@@ -196,7 +256,13 @@ std::uint64_t* ParallelCopier::reserve(Worker& w, std::size_t words) {
   if (w.block == nullptr ||
       static_cast<std::size_t>(w.limit - w.alloc) < words) {
     retire_block(w);
-    const std::size_t take = std::max(block_words_, words);
+    std::size_t take = std::max(block_words_, words);
+    // Card mode: whole-card blocks make this worker the only crossing-map
+    // writer for every card its block covers, and keep the shared frontier
+    // card-aligned for the next carve.
+    if (card_words_ != 0) {
+      take = (take + card_words_ - 1) & ~(card_words_ - 1);
+    }
     const std::size_t off =
         frontier_off_.fetch_add(take, std::memory_order_acq_rel);
     if (off + take > to_words_) {
@@ -223,6 +289,10 @@ void ParallelCopier::retire_block(Worker& w) {
   if (w.alloc < w.limit) {
     const auto gap = static_cast<std::size_t>(w.limit - w.alloc);
     w.alloc[0] = make_pad_header(gap);  // payload stays garbage; never read
+    if (card_words_ != 0) {
+      cards_->record_object(static_cast<std::size_t>(w.alloc - card_base_),
+                            gap);
+    }
   }
   w.block = w.scan = w.alloc = w.limit = nullptr;
 }
@@ -236,6 +306,19 @@ void ParallelCopier::drain_own(Worker& w) {
     const std::uint64_t hdr = obj[0];
     w.scan = obj + 1 + header_field_words(hdr);
     if (header_is_traced(hdr)) scan_fields(w, obj);
+  }
+}
+
+void ParallelCopier::drain_all(Worker& w) {
+  // The block scan and the pending LOS scans feed each other (a promoted
+  // object can point at a large object and vice versa); alternate to a joint
+  // fixpoint.
+  for (;;) {
+    drain_own(w);
+    if (w.los_pending.empty()) return;
+    std::uint64_t* obj = w.los_pending.back();
+    w.los_pending.pop_back();
+    scan_fields(w, obj);
   }
 }
 
@@ -316,11 +399,19 @@ bool ParallelCopier::wait_for_work(Worker& w, int wid) {
 }
 
 void ParallelCopier::flush_stats(Worker& w, int wid) {
-  const std::uint64_t delta = w.copied - w.flushed;
+  std::uint64_t delta = w.copied - w.flushed;
   if (delta != 0) {
     live_words_.fetch_add(delta, std::memory_order_relaxed);
     worker_words_[wid].v.fetch_add(delta, std::memory_order_relaxed);
     w.flushed = w.copied;
+  }
+  if (w.range_words != 0) {
+    range_words_.fetch_add(w.range_words, std::memory_order_relaxed);
+    w.range_words = 0;
+  }
+  if (w.los_marked != 0) {
+    los_marked_.fetch_add(w.los_marked, std::memory_order_relaxed);
+    w.los_marked = 0;
   }
 }
 

@@ -6,14 +6,24 @@
 // platform routes into worker_cycle() becomes a collection worker:
 //
 //   - Root slots are enumerated sequentially by the collector, then claimed
-//     by workers in batches through an atomic cursor.
+//     by workers in batches through an atomic cursor.  Remembered parse
+//     ranges (dirty cards, dirty large objects) are claimed the same way
+//     through a second cursor: a worker parses the range and forwards only
+//     the slots inside it, so the one-writer-per-slot invariant holds even
+//     when one object spans several cards.
 //   - Each worker copies survivors into a private alloc block carved from
 //     the shared to-space frontier (one fetch_add per block, no per-object
-//     synchronization) and Cheney-scans its own block in place.
+//     synchronization) and Cheney-scans its own block in place.  In card
+//     remset mode blocks are rounded to whole cards so each worker maintains
+//     the crossing map for its own cards without racing.
 //   - Forwarding races on a shared object are settled by a single CAS on the
 //     from-space header (reserve locally, CAS the forwarding word, un-bump
 //     on loss), so every object is copied exactly once and to-space has no
 //     holes beyond explicit pads.
+//   - A major phase marks the large-object space in passing: the first
+//     worker to reach an LOS object wins its mark CAS (in the LOS meta, not
+//     the object header — LOS objects are never forwarded) and scans its
+//     fields from a private pending stack.
 //   - When a block fills, its unscanned tail is published to a shared
 //     overflow stack that idle workers steal from; the retired block's
 //     unused words are padded so the old generation still parses.
@@ -34,8 +44,19 @@
 
 #include "arch/cacheline.h"
 #include "arch/tas.h"
+#include "gc/card_table.h"
+#include "gc/los.h"
 
 namespace mp::gc {
+
+// A remembered region to re-parse during a minor phase: objects are walked
+// from `parse` (the crossing-map start for a card, the object header for a
+// dirty LOS object) and only slots with addresses in [lo, hi) are forwarded.
+struct ScanRange {
+  std::uint64_t* parse;
+  std::uint64_t* lo;
+  std::uint64_t* hi;
+};
 
 class ParallelCopier {
  public:
@@ -51,8 +72,28 @@ class ParallelCopier {
     std::uint64_t steals = 0;      // overflow regions stolen
     std::uint64_t overflow_pushes = 0;
     std::uint64_t term_rounds = 0;  // termination-detector confirm rounds
+    std::uint64_t range_words = 0;  // words covered by claimed scan ranges
+    std::uint64_t los_marked = 0;   // LOS objects marked live (major phase)
     int workers = 0;                // procs that participated in the phase
     std::vector<std::uint64_t> worker_words;  // per-worker copy balance
+  };
+
+  // Everything one phase evacuates and maintains.  `roots` must be unique
+  // (each slot is claimed and rewritten by exactly one worker); `ranges`
+  // may overlap objects but never slots (the [lo, hi) clamp).  With `cards`
+  // set the copier maintains the crossing map for every object and pad it
+  // writes, with offsets relative to `card_base`.  With `los` set the phase
+  // is a major: pointers into the LOS are marked and their fields scanned.
+  struct PhaseSpaces {
+    std::uint64_t* from_lo = nullptr;
+    std::uint64_t* from_hi = nullptr;
+    std::uint64_t** frontier = nullptr;
+    std::uint64_t* to_limit = nullptr;
+    std::span<std::uint64_t* const> roots;
+    std::span<const ScanRange> ranges;
+    CardTable* cards = nullptr;
+    std::uint64_t* card_base = nullptr;
+    LargeObjectSpace* los = nullptr;
   };
 
   // Collector side.  begin_cycle() must be called before the worker fn is
@@ -61,15 +102,12 @@ class ParallelCopier {
   void begin_cycle();
   void end_cycle();
 
-  // Evacuate every object in [from_lo, from_hi) reachable from *root_slots
-  // into to-space starting at **frontier (bounded by to_limit).  The calling
-  // proc acts as a worker itself; procs already inside worker_cycle() join.
-  // On return **frontier is the new allocation frontier and the to-space
-  // region below it parses (gaps are pad objects).  Root slots must be
-  // unique: each is claimed and rewritten by exactly one worker.
-  PhaseResult run_phase(std::uint64_t* from_lo, std::uint64_t* from_hi,
-                        std::uint64_t** frontier, std::uint64_t* to_limit,
-                        std::span<std::uint64_t* const> root_slots);
+  // Evacuate every object in [from_lo, from_hi) reachable from the roots and
+  // ranges into to-space starting at **frontier (bounded by to_limit).  The
+  // calling proc acts as a worker itself; procs already inside
+  // worker_cycle() join.  On return **frontier is the new allocation
+  // frontier and the to-space region below it parses (gaps are pad objects).
+  PhaseResult run_phase(const PhaseSpaces& in);
 
   // Body of the WorkerFn the heap hands to Rendezvous::stop_world: loops
   // over the cycle's phases, working each one, until end_cycle().
@@ -92,14 +130,22 @@ class ParallelCopier {
     std::uint64_t steals = 0;
     std::uint64_t pushes = 0;
     std::uint64_t pads = 0;
+    std::uint64_t range_words = 0;   // scan-range words parsed
+    std::uint64_t los_marked = 0;    // LOS mark CASes won
+    // Newly marked traced LOS objects whose fields this worker owes a scan.
+    std::vector<std::uint64_t*> los_pending;
   };
 
   void run_worker(std::uint64_t myseq);
   void claim_roots(Worker& w);
+  void claim_ranges(Worker& w);
   void forward_slot(Worker& w, std::uint64_t* slot);
   void drain_own(Worker& w);
+  // drain_own plus the worker's pending LOS scans, to a joint fixpoint.
+  void drain_all(Worker& w);
   void scan_fields(Worker& w, std::uint64_t* obj);
   void scan_region(Worker& w, Region r);
+  void scan_range(Worker& w, const ScanRange& r);
   std::uint64_t* reserve(Worker& w, std::size_t words);
   void retire_block(Worker& w);
   bool try_steal(Region* out);
@@ -126,6 +172,12 @@ class ParallelCopier {
   std::atomic<std::size_t> frontier_off_{0};
   std::span<std::uint64_t* const> root_slots_;
   std::atomic<std::size_t> root_cursor_{0};
+  std::span<const ScanRange> ranges_;
+  std::atomic<std::size_t> range_cursor_{0};
+  CardTable* cards_ = nullptr;
+  std::uint64_t* card_base_ = nullptr;
+  std::size_t card_words_ = 0;  // 0: no card alignment / crossing map
+  LargeObjectSpace* los_ = nullptr;
 
   std::atomic<int> entered_{0};
   std::atomic<int> idle_{0};
@@ -144,10 +196,11 @@ class ParallelCopier {
   // Phase totals (flushed by workers before going idle, so they are complete
   // the moment the termination detector fires).
   std::atomic<std::uint64_t> live_words_{0};
-  std::atomic<std::uint64_t> pad_words_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> pushes_{0};
   std::atomic<std::uint64_t> term_rounds_{0};
+  std::atomic<std::uint64_t> range_words_{0};
+  std::atomic<std::uint64_t> los_marked_{0};
   struct alignas(arch::kCacheLine) PaddedWord {
     std::atomic<std::uint64_t> v{0};
   };

@@ -10,8 +10,10 @@ namespace mp::gc {
 
 // Heap object kinds.  Records and tuples are immutable (no write barrier
 // needed, matching ML); refs and arrays are mutable and their updates go
-// through Heap::store, which maintains the store list the minor collector
-// scans (SML/NJ's treatment of assignments).
+// through Heap::store, whose inline fast path is the write plus one nursery
+// range check — only out-of-nursery stores take the out-of-line remembered-
+// set record (a dirty card, a store-list entry, or an LOS dirty flag; see
+// heap.h).
 enum class ObjKind : std::uint8_t {
   kRecord = 0,  // immutable fields
   kArray = 1,   // mutable Value elements

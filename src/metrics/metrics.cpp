@@ -14,7 +14,11 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "gc_pause_us_total",     "gc_words_copied",       "gc_words_copied_minor",
     "gc_words_copied_major", "gc_alloc_words",        "gc_allocs",
     "gc_stores_recorded",    "gc_chunk_grabs",        "gc_chunk_steals",
-    "gc_large_allocs",       "gc_par_collections",    "gc_par_workers",
+    "gc_large_allocs",
+    "gc_cards_dirtied",      "gc_cards_scanned",      "gc_card_scan_words",
+    "gc_card_flushes",       "gc_los_bytes_allocated", "gc_los_bytes_swept",
+    "gc_los_sweeps",         "gc_los_marked",
+    "gc_par_collections",    "gc_par_workers",
     "gc_par_steals",         "gc_par_overflow_pushes", "gc_par_pad_words",
     "gc_par_term_rounds",    "sched_dispatches",      "sched_preempts",
     "sched_forks",           "sched_yields",          "sched_idle_polls",
@@ -35,6 +39,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
 
 constexpr const char* kHistoNames[kNumHistos] = {
     "gc_pause_us",
+    "gc_minor_pause_us",
+    "gc_major_pause_us",
     "gc_par_worker_words",
     "gc_par_steals_per_gc",
     "gc_par_term_rounds_per_gc",

@@ -54,7 +54,18 @@ enum class Counter : std::uint32_t {
   kGcStores,         // old-generation stores recorded on the store list
   kGcChunkGrabs,     // nursery chunks claimed by procs
   kGcChunkSteals,    // chunk grabs beyond a proc's fair share (paper "steal")
-  kGcLargeAllocs,    // allocations that bypassed the nursery
+  kGcLargeAllocs,    // allocations routed to the large-object space
+  // Card-marking remembered set (gc/heap.cpp, RemsetMode::kCard).  The
+  // dirtied/scanned counts back HeapStats and run always-on.
+  kGcCardsDirtied,    // clean->dirty card transitions observed by the barrier
+  kGcCardsScanned,    // dirty cards re-parsed by minor collections
+  kGcCardScanWords,   // old-generation words covered by scanned cards
+  kGcCardFlushes,     // per-proc dirty-card buffer flushes to the global list
+  // Large-object space (gc/los.cpp).
+  kGcLosBytesAllocated,  // object bytes placed in the LOS
+  kGcLosBytesSwept,      // object bytes released by post-major sweeps
+  kGcLosSweeps,          // post-major sweep passes
+  kGcLosMarked,          // LOS objects marked live by major collections
   // Parallel collection (gc/parallel_copy.cpp).
   kGcParCollections,    // collections that ran the parallel copier
   kGcParWorkers,        // workers that participated, summed over collections
@@ -119,7 +130,12 @@ const char* counter_name(Counter c);
 // values in [2^(i-1), 2^i).  Cheap to record (a bit-width computation), wide
 // enough for anything from spin iterations to pause times in microseconds.
 enum class Histo : std::uint32_t {
+  // Pause histograms run through the always-on tier (record_always): a pause
+  // SLO is a product claim, not optional observability, so the distribution
+  // survives MPNJ_METRICS=0 builds and env settings.
   kGcPauseUs,      // stop-the-world pause per collection (wall microseconds)
+  kGcMinorPauseUs,  // minor-phase portion of the pause (root gather + copy)
+  kGcMajorPauseUs,  // major-phase portion (semispace flip + LOS sweep)
   kGcParWorkerWords,  // words copied per worker per parallel collection
   kGcParSteals,       // overflow-stack steals per parallel collection
   kGcParTermRounds,   // termination-detector rounds per parallel collection
@@ -229,6 +245,13 @@ class Registry {
 
   void record(Histo h, std::uint64_t value) {
     if (!enabled()) return;
+    record_always(h, value);
+  }
+
+  // Always-on histogram tier (the counterpart of count_always): the GC pause
+  // distributions bypass the enable flag because the pause-SLO reports are
+  // built from them.
+  void record_always(Histo h, std::uint64_t value) {
     Slot& s = slot();
     const auto i = static_cast<std::size_t>(h);
     s.histo_buckets[i][bucket_of(value)].fetch_add(1,
@@ -266,6 +289,9 @@ inline void count_event_always(Counter c, std::uint64_t n = 1) {
 inline void record_value(Histo h, std::uint64_t value) {
   registry().record(h, value);
 }
+inline void record_value_always(Histo h, std::uint64_t value) {
+  registry().record_always(h, value);
+}
 
 }  // namespace mp::metrics
 
@@ -281,7 +307,9 @@ inline void record_value(Histo h, std::uint64_t value) {
 #define MPNJ_METRIC_RECORD(h, v) ((void)0)
 #endif
 
-// Always-on tier: live in every build configuration (Heap::stats() and the
-// benchmark reports depend on these counts being real).
+// Always-on tier: live in every build configuration (Heap::stats(), the
+// pause-SLO reports and the benchmark tables depend on these being real).
 #define MPNJ_METRIC_COUNT_ALWAYS(c, n) \
   ::mp::metrics::count_event_always(::mp::metrics::Counter::c, (n))
+#define MPNJ_METRIC_RECORD_ALWAYS(h, v) \
+  ::mp::metrics::record_value_always(::mp::metrics::Histo::h, (v))

@@ -376,6 +376,12 @@ void NativePlatform::resume_world() {
 
 void NativePlatform::charge_gc(std::uint64_t) {}
 
+void NativePlatform::charge_card_scan(std::uint64_t, std::uint64_t) {}
+
+void NativePlatform::charge_los_alloc(std::uint64_t) {}
+
+void NativePlatform::charge_los_sweep(std::uint64_t) {}
+
 void NativePlatform::charge_alloc(std::uint64_t) {}
 
 void NativePlatform::rendezvous_and_work(const gc::WorkerFn& work) {

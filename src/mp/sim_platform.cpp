@@ -411,6 +411,34 @@ void SimPlatform::charge_alloc(std::uint64_t words) {
   engine_->bus_transfer(w * m.alloc_bus_bytes_per_word * miss_factor);
 }
 
+void SimPlatform::charge_card_scan(std::uint64_t cards, std::uint64_t words) {
+  const auto& m = cfg_.machine;
+  const double t0 = engine_->now();
+  const double c = static_cast<double>(cards);
+  const double w = static_cast<double>(words);
+  // Like charge_gc: parallel workers split the parse work, the bus carries
+  // the same read traffic either way.
+  int workers = 1;
+  if (cfg_.heap.parallel_gc) workers += engine_->num_stopped();
+  engine_->charge_instr(
+      (c * m.gc_card_scan_instr_per_card + w * m.gc_card_scan_instr_per_word) /
+      static_cast<double>(workers));
+  engine_->bus_transfer(w * m.gc_card_scan_bus_bytes_per_word);
+  engine_->stats(engine_->current()).gc_us += engine_->now() - t0;
+}
+
+void SimPlatform::charge_los_alloc(std::uint64_t pages) {
+  engine_->charge_us(static_cast<double>(pages) *
+                     cfg_.machine.los_alloc_us_per_page);
+}
+
+void SimPlatform::charge_los_sweep(std::uint64_t pages) {
+  const double t0 = engine_->now();
+  engine_->charge_instr(static_cast<double>(pages) *
+                        cfg_.machine.los_sweep_instr_per_page);
+  engine_->stats(engine_->current()).gc_us += engine_->now() - t0;
+}
+
 void SimPlatform::rendezvous_and_work(const gc::WorkerFn& work) {
   // Parking suffices: the engine accounts the wait as gc_wait_us and the
   // collector's charge_gc models this proc's share of the copying work.

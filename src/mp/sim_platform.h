@@ -89,6 +89,9 @@ class SimPlatform final : public Platform {
   // ---- gc::Accounting ----
   void charge_gc(std::uint64_t words_copied) override;
   void charge_alloc(std::uint64_t words) override;
+  void charge_card_scan(std::uint64_t cards, std::uint64_t words) override;
+  void charge_los_alloc(std::uint64_t pages) override;
+  void charge_los_sweep(std::uint64_t pages) override;
 
   // ---- simulation access ----
   sim::Engine& engine() { return *engine_; }

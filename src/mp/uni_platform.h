@@ -55,6 +55,9 @@ class UniPlatform final : public Platform {
   // ---- gc::Accounting ----
   void charge_gc(std::uint64_t) override {}
   void charge_alloc(std::uint64_t) override {}
+  void charge_card_scan(std::uint64_t, std::uint64_t) override {}
+  void charge_los_alloc(std::uint64_t) override {}
+  void charge_los_sweep(std::uint64_t) override {}
 
  protected:
   ProcRec& self() override;

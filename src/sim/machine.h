@@ -72,6 +72,16 @@ struct MachineModel {
   // Extra rendezvous/termination overhead per additional parallel-GC worker
   // (block hand-out, steal traffic, the two-phase termination barrier).
   double gc_par_sync_us_per_worker = 40.0;
+  // Card-marking remembered set (gc/card_table.h): re-parsing one dirty card
+  // costs a fixed crossing-map lookup plus a per-word header walk; the
+  // parsed words are read traffic on the shared bus.
+  double gc_card_scan_instr_per_card = 15.0;
+  double gc_card_scan_instr_per_word = 2.0;
+  double gc_card_scan_bus_bytes_per_word = 8.0;
+  // Large-object space (gc/los.h): page-granular allocation soft-faults
+  // fresh pages; the post-major sweep walks metas and madvises dead runs.
+  double los_alloc_us_per_page = 0.5;
+  double los_sweep_instr_per_page = 50.0;
 
   // --- scheduling of the simulation itself ---
   double granularity_us = 0.0;  // extra slack before forcing a proc switch

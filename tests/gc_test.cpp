@@ -40,6 +40,9 @@ class TestHooks : public mp::gc::Rendezvous, public mp::gc::Accounting {
   // ---- gc::Accounting ----
   void charge_gc(std::uint64_t words) override { gc_words += words; }
   void charge_alloc(std::uint64_t words) override { alloc_words += words; }
+  void charge_card_scan(std::uint64_t, std::uint64_t) override {}
+  void charge_los_alloc(std::uint64_t) override {}
+  void charge_los_sweep(std::uint64_t) override {}
 
   mp::cont::ExecContext* exec = nullptr;
   std::uint64_t gc_words = 0;
@@ -377,17 +380,24 @@ TEST_F(GcTest, SuspendedThreadRootChainIsTraced) {
   EXPECT_EQ(observed, 642);
 }
 
-TEST_F(GcTest, LargeArrayGoesToOldSpace) {
+TEST_F(GcTest, LargeArrayGoesToLargeObjectSpace) {
   Heap& h = make_heap(/*nursery_bytes=*/32 * 1024);
   on_proc([&] {
     Roots<1> r;
     r[0] = h.alloc_array(10000, Value::from_int(4));  // bigger than a chunk
-    EXPECT_TRUE(h.in_old_space(r[0]));
+    EXPECT_TRUE(h.in_los(r[0]));
+    EXPECT_FALSE(h.in_old_space(r[0]));
     EXPECT_EQ(h.stats().large_allocs, 1u);
+    EXPECT_GT(h.stats().los_bytes, 10000u * 8u);
     h.store(r[0], 9999, Value::from_int(-4));
     h.collect_now();
     EXPECT_EQ(r[0].field(9999).as_int(), -4);
     EXPECT_EQ(r[0].field(0).as_int(), 4);
+    // LOS objects are never copied: the Value is stable across a major.
+    const std::uint64_t bits_before = r[0].raw_bits();
+    h.collect_now(/*force_major=*/true);
+    EXPECT_EQ(r[0].raw_bits(), bits_before);
+    EXPECT_TRUE(h.in_los(r[0]));
   });
 }
 
